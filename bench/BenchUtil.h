@@ -1,0 +1,44 @@
+//===- BenchUtil.h - Shared helpers for the experiment harnesses -*- C++ -*-==//
+///
+/// \file
+/// Table formatting and environment-variable budget knobs shared by the
+/// bench binaries. Each bench regenerates one table or figure of the
+/// paper; `TMW_BENCH_BUDGET_SECONDS` and `TMW_BENCH_MAX_EVENTS` scale the
+/// searches (defaults keep every binary under a couple of minutes, like
+/// the paper's preliminary-results mode in §5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_BENCH_BENCHUTIL_H
+#define TMW_BENCH_BENCHUTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace tmw::bench {
+
+inline double budgetSeconds(double Default) {
+  if (const char *S = std::getenv("TMW_BENCH_BUDGET_SECONDS"))
+    return std::atof(S);
+  return Default;
+}
+
+inline unsigned maxEvents(unsigned Default) {
+  if (const char *S = std::getenv("TMW_BENCH_MAX_EVENTS"))
+    return static_cast<unsigned>(std::atoi(S));
+  return Default;
+}
+
+inline void header(const char *Title, const char *PaperRef) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", Title);
+  std::printf("reproduces: %s\n", PaperRef);
+  std::printf("================================================================\n");
+}
+
+inline const char *yesNo(bool B) { return B ? "yes" : "no"; }
+
+} // namespace tmw::bench
+
+#endif // TMW_BENCH_BENCHUTIL_H

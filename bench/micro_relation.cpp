@@ -1,0 +1,128 @@
+//===- micro_relation.cpp - google-benchmark microbenchmarks --------------------==//
+///
+/// Microbenchmarks of the hot paths of the whole toolflow: relational
+/// algebra primitives, per-architecture consistency checks, minimality
+/// checking, and candidate enumeration. These bound the throughput of the
+/// Table 1/Table 2 searches (the explicit-search counterpart of the
+/// paper's SAT-solver columns).
+///
+//===----------------------------------------------------------------------===//
+
+#include "enumerate/Candidates.h"
+#include "enumerate/Relaxation.h"
+#include "execution/Builder.h"
+#include "litmus/FromExecution.h"
+#include "models/Armv8Model.h"
+#include "models/CppModel.h"
+#include "models/PowerModel.h"
+#include "models/ScModel.h"
+#include "models/X86Model.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace tmw;
+
+namespace {
+
+Execution iriwLike() {
+  ExecutionBuilder B;
+  EventId Wx = B.write(0, 0, MemOrder::NonAtomic, 1);
+  EventId Rx = B.read(1, 0);
+  EventId Ry = B.read(1, 1);
+  EventId Ry2 = B.read(2, 1);
+  EventId Rx2 = B.read(2, 0);
+  EventId Wy = B.write(3, 1, MemOrder::NonAtomic, 1);
+  B.rf(Wx, Rx);
+  B.rf(Wy, Ry2);
+  B.addr(Rx, Ry);
+  B.addr(Ry2, Rx2);
+  B.txn({Wx});
+  B.txn({Wy});
+  return B.build();
+}
+
+void BM_RelationCompose(benchmark::State &State) {
+  Execution X = iriwLike();
+  Relation A = X.Po, B = X.com();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.compose(B));
+}
+BENCHMARK(BM_RelationCompose);
+
+void BM_TransitiveClosure(benchmark::State &State) {
+  Execution X = iriwLike();
+  Relation A = X.Po | X.com();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.transitiveClosure());
+}
+BENCHMARK(BM_TransitiveClosure);
+
+void BM_AcyclicityCheck(benchmark::State &State) {
+  Execution X = iriwLike();
+  Relation A = X.Po | X.com();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(A.isAcyclic());
+}
+BENCHMARK(BM_AcyclicityCheck);
+
+void BM_DerivedFr(benchmark::State &State) {
+  Execution X = iriwLike();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(X.fr());
+}
+BENCHMARK(BM_DerivedFr);
+
+template <typename ModelT> void BM_ModelCheck(benchmark::State &State) {
+  ModelT M;
+  Execution X = iriwLike();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(M.check(X));
+}
+BENCHMARK(BM_ModelCheck<ScModel>)->Name("BM_ModelCheck/SC");
+BENCHMARK(BM_ModelCheck<TscModel>)->Name("BM_ModelCheck/TSC");
+BENCHMARK(BM_ModelCheck<X86Model>)->Name("BM_ModelCheck/x86");
+BENCHMARK(BM_ModelCheck<PowerModel>)->Name("BM_ModelCheck/Power");
+BENCHMARK(BM_ModelCheck<Armv8Model>)->Name("BM_ModelCheck/ARMv8");
+BENCHMARK(BM_ModelCheck<CppModel>)->Name("BM_ModelCheck/C++");
+
+void BM_MinimalityCheck(benchmark::State &State) {
+  // The §8.1-style minimal test under x86+TM.
+  ExecutionBuilder B;
+  EventId W0 = B.write(0, 0, MemOrder::NonAtomic, 1);
+  B.read(0, 1);
+  EventId W1 = B.write(1, 1, MemOrder::NonAtomic, 1);
+  B.read(1, 0);
+  B.txn({W0});
+  B.txn({W1});
+  Execution X = B.build();
+  X86Model M;
+  Vocabulary V = Vocabulary::forArch(Arch::X86);
+  for (auto _ : State)
+    benchmark::DoNotOptimize(isMinimallyInconsistent(X, M, V));
+}
+BENCHMARK(BM_MinimalityCheck);
+
+void BM_CanonicalHash(benchmark::State &State) {
+  Execution X = iriwLike();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(canonicalHash(X));
+}
+BENCHMARK(BM_CanonicalHash);
+
+void BM_CandidateEnumeration(benchmark::State &State) {
+  Program P = programFromExecution(iriwLike(), "iriw").Prog;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(enumerateCandidates(P));
+}
+BENCHMARK(BM_CandidateEnumeration);
+
+void BM_LitmusConversion(benchmark::State &State) {
+  Execution X = iriwLike();
+  for (auto _ : State)
+    benchmark::DoNotOptimize(programFromExecution(X, "iriw"));
+}
+BENCHMARK(BM_LitmusConversion);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,75 @@
+//===- lock_elision.cpp - Auditing a lock-elision library -----------------------==//
+///
+/// The paper's headline use-case as a downstream user would run it: take
+/// a spinlock implementation (the architecture's recommended sequence),
+/// treat elision as a program transformation, and ask whether mutual
+/// exclusion survives on each architecture — then apply the DMB fix and
+/// re-audit.
+///
+/// Run: ./lock_elision
+///
+//===----------------------------------------------------------------------===//
+
+#include "litmus/FromExecution.h"
+#include "litmus/Printer.h"
+#include "metatheory/LockElision.h"
+#include "models/Armv8Model.h"
+#include "models/PowerModel.h"
+#include "models/X86Model.h"
+
+#include <cstdio>
+
+using namespace tmw;
+
+namespace {
+
+void audit(const char *Name, const MemoryModel &Tm, const MemoryModel &Spec,
+           Arch A, bool Fixed) {
+  ElisionResult R = checkLockElision(Tm, Spec, A, Fixed, 7, 120.0);
+  std::printf("%-16s %-28s ", Name,
+              R.CounterexampleFound ? "UNSOUND (counterexample below)"
+              : R.Complete          ? "sound up to the bound"
+                                    : "no counterexample (budget hit)");
+  std::printf("[%llu abstract executions in %.2fs]\n",
+              static_cast<unsigned long long>(R.AbstractChecked),
+              R.Seconds);
+  if (!R.CounterexampleFound)
+    return;
+  std::printf("\n  The specification forbids this client behaviour "
+              "(critical regions cannot\n  serialise):\n\n%s\n",
+              printGeneric(
+                  programFromExecution(R.Abstract, "client").Prog)
+                  .c_str());
+  std::printf("  ...but the elided implementation admits it:\n\n%s\n",
+              printAsm(programFromExecution(R.Concrete, "elided").Prog, A)
+                  .c_str());
+}
+
+} // namespace
+
+int main() {
+  std::printf("Auditing lock elision against each hardware TM model "
+              "(abstract bound: 7 events)\n\n");
+
+  X86Model X86Tm;
+  X86Model X86Spec{X86Model::Config::baseline()};
+  audit("x86 (TSX)", X86Tm, X86Spec, Arch::X86, false);
+
+  PowerModel PowerTm;
+  PowerModel PowerSpec{PowerModel::Config::baseline()};
+  audit("Power", PowerTm, PowerSpec, Arch::Power, false);
+
+  Armv8Model ArmTm;
+  Armv8Model ArmSpec{Armv8Model::Config::baseline()};
+  audit("ARMv8", ArmTm, ArmSpec, Arch::Armv8, false);
+  audit("ARMv8 + DMB fix", ArmTm, ArmSpec, Arch::Armv8, true);
+
+  std::printf(
+      "\nMoral (§1.1): a critical region can start executing after the "
+      "lock has been\nobserved free but before it has actually been "
+      "taken. Safe when every CR takes\nthe lock — unsound combined with "
+      "elided CRs that only *read* it. The DMB fix\nworks but taxes "
+      "non-elided users; making transactions write the lock would\n"
+      "serialise them. There is no easy fix.\n");
+  return 0;
+}

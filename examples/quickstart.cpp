@@ -1,0 +1,79 @@
+//===- quickstart.cpp - First steps with the tmw library ------------------------==//
+///
+/// Build an execution graph, check it against several memory models, and
+/// derive the litmus test that witnesses it — the core loop of the whole
+/// toolflow in ~60 lines.
+///
+/// Run: ./quickstart
+///
+//===----------------------------------------------------------------------===//
+
+#include "execution/Builder.h"
+#include "litmus/FromExecution.h"
+#include "litmus/Printer.h"
+#include "models/Armv8Model.h"
+#include "models/PowerModel.h"
+#include "models/ScModel.h"
+#include "models/X86Model.h"
+
+#include <cstdio>
+
+using namespace tmw;
+
+int main() {
+  // Message passing: thread 0 publishes data (x) then sets a flag (y);
+  // thread 1 sees the flag but reads stale data. The rf edge pins the
+  // flag read; the data read observes the initial value.
+  ExecutionBuilder B;
+  B.write(0, /*x=*/0, MemOrder::NonAtomic, 1);
+  EventId Flag = B.write(0, /*y=*/1, MemOrder::NonAtomic, 1);
+  EventId SeeFlag = B.read(1, 1);
+  B.read(1, 0); // stale read of x
+  B.rf(Flag, SeeFlag);
+  Execution Mp = B.build();
+
+  std::printf("Execution:\n%s\n", Mp.dump().c_str());
+
+  ScModel Sc;
+  X86Model X86;
+  PowerModel Power;
+  Armv8Model Armv8;
+  std::printf("Is the stale read allowed?\n");
+  for (const MemoryModel *M :
+       std::initializer_list<const MemoryModel *>{&Sc, &X86, &Power,
+                                                  &Armv8}) {
+    ConsistencyResult R = M->check(Mp);
+    std::printf("  %-8s %s%s%s\n", M->name(),
+                R.Consistent ? "allowed" : "forbidden",
+                R.FailedAxiom ? " by " : "",
+                R.FailedAxiom ? R.FailedAxiom : "");
+  }
+
+  // Wrap the writer in a transaction: the implicit fences at its
+  // boundaries and the transaction-ordering axioms forbid the stale read
+  // even on Power and ARMv8.
+  Execution MpTxn = Mp;
+  MpTxn.Txn[0] = 0;
+  MpTxn.Txn[1] = 0;
+  std::printf("\nSame shape with the writer inside a transaction:\n");
+  for (const MemoryModel *M :
+       std::initializer_list<const MemoryModel *>{&X86, &Power, &Armv8}) {
+    // A dependency on the reader side is still needed on Power/ARMv8 —
+    // add one.
+    Execution X = MpTxn;
+    X.Addr.insert(SeeFlag, 3);
+    ConsistencyResult R = M->check(X);
+    std::printf("  %-8s %s%s%s\n", M->name(),
+                R.Consistent ? "allowed" : "forbidden",
+                R.FailedAxiom ? " by " : "",
+                R.FailedAxiom ? R.FailedAxiom : "");
+  }
+
+  // Finally: derive the litmus test that checks for this execution on
+  // real hardware (§2.2/§3.2), specialised for each architecture.
+  Program P = programFromExecution(MpTxn, "MP+txn").Prog;
+  std::printf("\nGenerated litmus test (generic):\n%s",
+              printGeneric(P).c_str());
+  std::printf("\nAs Power assembly:\n%s", printAsm(P, Arch::Power).c_str());
+  return 0;
+}

@@ -1,0 +1,47 @@
+//===- Candidates.h - Candidate executions of a program ---------*- C++ -*-==//
+///
+/// \file
+/// Generates the candidate executions of a litmus-test program under a
+/// non-deterministic memory system (§2): every load may observe any store
+/// to the same location (or the initial value), coherence is any total
+/// order per location, and each transaction succeeds or fails
+/// non-deterministically — a failed transaction's events vanish (§3.1) and
+/// its abort handler zeroes the `ok` location of the outcome.
+///
+/// Filtering the candidates through a `MemoryModel` yields the behaviours
+/// the model allows — the herd-style simulation flow used both by the
+/// model-level "run" of a test and by the axiomatic hardware substitutes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_ENUMERATE_CANDIDATES_H
+#define TMW_ENUMERATE_CANDIDATES_H
+
+#include "execution/Execution.h"
+#include "litmus/Program.h"
+#include "models/MemoryModel.h"
+
+#include <vector>
+
+namespace tmw {
+
+/// A candidate execution together with the outcome it produces.
+struct Candidate {
+  Execution X;
+  Outcome O;
+};
+
+/// All well-formed candidate executions of \p P.
+std::vector<Candidate> enumerateCandidates(const Program &P);
+
+/// The outcomes of \p P permitted by \p M: outcomes of the consistent
+/// candidates, deduplicated and sorted.
+std::vector<Outcome> allowedOutcomes(const Program &P, const MemoryModel &M);
+
+/// True when some consistent candidate satisfies the postcondition of
+/// \p P — i.e. the model \p M allows the behaviour the test checks for.
+bool postconditionReachable(const Program &P, const MemoryModel &M);
+
+} // namespace tmw
+
+#endif // TMW_ENUMERATE_CANDIDATES_H

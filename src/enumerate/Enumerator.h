@@ -1,0 +1,81 @@
+//===- Enumerator.h - Exhaustive execution enumeration ----------*- C++ -*-==//
+///
+/// \file
+/// Exhaustive enumeration of executions up to a bounded number of events —
+/// the explicit-search substitute for the paper's SAT-backed Memalloy
+/// queries (§4.2). Executions are generated in a canonical skeleton form
+/// (threads ordered by non-increasing size, locations numbered by first
+/// use, program order = event-id order within a thread) and the synthesis
+/// layer deduplicates final results up to thread/location symmetry.
+///
+/// Structural filters sound for *minimal* inconsistent executions are
+/// applied during generation: every location has at least two accesses,
+/// one of which is a write (an access without a communication edge cannot
+/// lie on a violation cycle), and fences are interior to their thread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_ENUMERATE_ENUMERATOR_H
+#define TMW_ENUMERATE_ENUMERATOR_H
+
+#include "execution/Execution.h"
+#include "models/MemoryModel.h"
+
+#include <functional>
+#include <vector>
+
+namespace tmw {
+
+/// The event vocabulary available to the enumerator for one architecture:
+/// which fence flavours, consistency modes, dependencies, RMW pairs, and
+/// transaction forms may appear.
+struct Vocabulary {
+  Arch A = Arch::X86;
+  std::vector<FenceKind> Fences;
+  std::vector<MemOrder> ReadOrders = {MemOrder::NonAtomic};
+  std::vector<MemOrder> WriteOrders = {MemOrder::NonAtomic};
+  /// Orders available on CppFence events (empty unless C++).
+  std::vector<MemOrder> FenceOrders;
+  /// Enumerate addr/data/ctrl dependencies.
+  bool Deps = false;
+  /// Enumerate adjacent RMW pairs.
+  bool Rmw = true;
+  /// Distinguish C++ atomic{} from synchronized{} transactions.
+  bool AtomicTxns = false;
+  unsigned MaxLocations = 3;
+  unsigned MaxThreads = 4;
+
+  /// The vocabulary used for each target in the paper's experiments.
+  static Vocabulary forArch(Arch A);
+};
+
+/// Exhaustive generator of base (transaction-free) executions and of
+/// transaction placements over a base.
+class ExecutionEnumerator {
+public:
+  ExecutionEnumerator(const Vocabulary &V, unsigned NumEvents)
+      : Vocab(V), Num(NumEvents) {}
+
+  /// Invoke \p F on every well-formed base execution (the execution is
+  /// reused between calls; copy it to keep it). \p F returns false to abort
+  /// the enumeration (e.g. on a time budget); the result is false when
+  /// aborted.
+  bool forEachBase(const std::function<bool(Execution &)> &F) const;
+
+  /// Invoke \p F on every placement of at least one successful transaction
+  /// over \p X (the Txn fields are mutated in place and restored). \p F
+  /// returns false to abort.
+  bool forEachTxnPlacement(Execution &X,
+                           const std::function<bool(Execution &)> &F) const;
+
+  const Vocabulary &vocabulary() const { return Vocab; }
+  unsigned numEvents() const { return Num; }
+
+private:
+  Vocabulary Vocab;
+  unsigned Num;
+};
+
+} // namespace tmw
+
+#endif // TMW_ENUMERATE_ENUMERATOR_H

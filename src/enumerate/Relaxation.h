@@ -1,0 +1,52 @@
+//===- Relaxation.h - The ⊏ order between executions ------------*- C++ -*-==//
+///
+/// \file
+/// The relaxation order between executions (§4.2, after Lustig et al.):
+/// X ⊏ Y when X is obtained from Y by one of
+///
+///   (i)   removing an event (plus incident edges),
+///   (ii)  removing a dependency edge (addr, ctrl, data, rmw),
+///   (iii) downgrading an event (e.g. acquire read to plain read), or
+///   (v)   making the first or last event of a transaction
+///         non-transactional.
+///
+/// Minimally inconsistent executions are inconsistent executions all of
+/// whose one-step relaxations are consistent; maximally consistent
+/// executions are the one-step relaxations of minimally inconsistent ones.
+///
+/// Canonicalisation (thread and location symmetry) deduplicates the
+/// synthesised test suites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_ENUMERATE_RELAXATION_H
+#define TMW_ENUMERATE_RELAXATION_H
+
+#include "enumerate/Enumerator.h"
+
+#include <vector>
+
+namespace tmw {
+
+/// Remove event \p E from \p X, remapping ids and dropping incident edges.
+Execution removeEvent(const Execution &X, EventId E);
+
+/// All well-formed executions one ⊏-step below \p X under vocabulary \p V.
+std::vector<Execution> relaxOneStep(const Execution &X, const Vocabulary &V);
+
+/// True when \p X is inconsistent under \p M and every one-step relaxation
+/// is consistent.
+bool isMinimallyInconsistent(const Execution &X, const MemoryModel &M,
+                             const Vocabulary &V);
+
+/// A serialisation of \p X that is invariant under renaming of threads (of
+/// equal size) and locations: the lexicographically least encoding over all
+/// such renamings.
+std::vector<uint8_t> canonicalEncoding(const Execution &X);
+
+/// FNV hash of `canonicalEncoding`.
+uint64_t canonicalHash(const Execution &X);
+
+} // namespace tmw
+
+#endif // TMW_ENUMERATE_RELAXATION_H

@@ -1,0 +1,76 @@
+//===- Builder.h - Fluent construction of executions ------------*- C++ -*-==//
+///
+/// \file
+/// Convenience builder for execution graphs. Program order is taken from
+/// the per-thread insertion order; coherence is completed to a total order
+/// per location (user edges first, event order as tie-break); control
+/// dependencies are forward-closed automatically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_EXECUTION_BUILDER_H
+#define TMW_EXECUTION_BUILDER_H
+
+#include "execution/Execution.h"
+
+#include <initializer_list>
+#include <vector>
+
+namespace tmw {
+
+/// Builds well-formed executions for tests, examples, and the hardware
+/// substitutes. All methods return the new event's id; relations may be
+/// declared in any order before `build()`.
+class ExecutionBuilder {
+public:
+  ExecutionBuilder() = default;
+
+  /// Append a read of \p Loc on \p Thread.
+  EventId read(unsigned Thread, LocId Loc, MemOrder MO = MemOrder::NonAtomic);
+  /// Append a write of \p Value to \p Loc on \p Thread.
+  EventId write(unsigned Thread, LocId Loc, MemOrder MO = MemOrder::NonAtomic,
+                int Value = 0);
+  /// Append a fence of flavour \p K on \p Thread.
+  EventId fence(unsigned Thread, FenceKind K,
+                MemOrder MO = MemOrder::NonAtomic);
+  /// Append a lock-elision method-call event of kind \p K on \p Thread.
+  EventId lockCall(unsigned Thread, EventKind K);
+
+  /// Declare a reads-from edge W -> R.
+  void rf(EventId W, EventId R);
+  /// Declare a coherence edge A -> B (completed to a total order by build).
+  void co(EventId A, EventId B);
+  void addr(EventId A, EventId B);
+  void data(EventId A, EventId B);
+  /// Declare a control dependency; forward closure is added by build().
+  void ctrl(EventId A, EventId B);
+  /// Pair the read \p A with the write \p B of an RMW operation.
+  void rmw(EventId A, EventId B);
+
+  /// Place \p Members inside one successful transaction. Returns the class.
+  int txn(std::initializer_list<EventId> Members, bool Atomic = false);
+  /// Place \p Members inside one critical region (first must be a lock call,
+  /// last the matching unlock). Returns the region id.
+  int cr(std::initializer_list<EventId> Members);
+
+  /// Assemble the execution. Asserts that the result is well-formed.
+  Execution build() const;
+  /// Assemble without the well-formedness assertion (for negative tests).
+  Execution buildUnchecked() const;
+
+private:
+  struct PendingEvent {
+    Event Ev;
+  };
+  std::vector<Event> Events;
+  std::vector<std::pair<EventId, EventId>> RfEdges, CoEdges, AddrEdges,
+      DataEdges, CtrlEdges, RmwEdges;
+  std::vector<std::pair<std::vector<EventId>, bool>> Txns;
+  std::vector<std::vector<EventId>> Crs;
+
+  EventId append(const Event &Ev);
+};
+
+} // namespace tmw
+
+#endif // TMW_EXECUTION_BUILDER_H

@@ -1,0 +1,69 @@
+//===- Event.cpp - Runtime memory events -----------------------------------==//
+
+#include "execution/Event.h"
+
+using namespace tmw;
+
+const char *tmw::eventKindName(EventKind K) {
+  switch (K) {
+  case EventKind::Read:
+    return "R";
+  case EventKind::Write:
+    return "W";
+  case EventKind::Fence:
+    return "F";
+  case EventKind::Lock:
+    return "L";
+  case EventKind::Unlock:
+    return "U";
+  case EventKind::TxLock:
+    return "Lt";
+  case EventKind::TxUnlock:
+    return "Ut";
+  }
+  return "?";
+}
+
+const char *tmw::fenceKindName(FenceKind F) {
+  switch (F) {
+  case FenceKind::None:
+    return "none";
+  case FenceKind::MFence:
+    return "mfence";
+  case FenceKind::Sync:
+    return "sync";
+  case FenceKind::LwSync:
+    return "lwsync";
+  case FenceKind::ISync:
+    return "isync";
+  case FenceKind::Dmb:
+    return "dmb";
+  case FenceKind::DmbLd:
+    return "dmb.ld";
+  case FenceKind::DmbSt:
+    return "dmb.st";
+  case FenceKind::Isb:
+    return "isb";
+  case FenceKind::CppFence:
+    return "fence";
+  }
+  return "?";
+}
+
+const char *tmw::memOrderName(MemOrder MO) {
+  switch (MO) {
+  case MemOrder::NonAtomic:
+    return "na";
+  case MemOrder::Relaxed:
+    return "rlx";
+  case MemOrder::Acquire:
+    return "acq";
+  case MemOrder::Release:
+    return "rel";
+  case MemOrder::AcqRel:
+    return "acqrel";
+  case MemOrder::SeqCst:
+    return "sc";
+  }
+  return "?";
+}

@@ -1,0 +1,123 @@
+//===- Event.h - Runtime memory events --------------------------*- C++ -*-==//
+///
+/// \file
+/// Events of an execution graph (§2.1). Events are partitioned into reads,
+/// writes and fences; lock-elision checking (§8.3) adds four method-call
+/// kinds (L, U, Lt, Ut). Architecture- and language-level annotations
+/// (acquire/release/SC, atomicity, fence flavours) are carried on the event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_EXECUTION_EVENT_H
+#define TMW_EXECUTION_EVENT_H
+
+#include <cstdint>
+
+namespace tmw {
+
+/// The kind of a runtime event.
+enum class EventKind : uint8_t {
+  Read,
+  Write,
+  Fence,
+  /// lock() implemented by really acquiring the mutex (L in §8.3).
+  Lock,
+  /// unlock() of a really-acquired mutex (U in §8.3).
+  Unlock,
+  /// lock() that will be transactionalised by lock elision (Lt in §8.3).
+  TxLock,
+  /// unlock() of an elided critical region (Ut in §8.3).
+  TxUnlock,
+};
+
+/// Architecture-level fence flavours. `None` marks non-fence events.
+enum class FenceKind : uint8_t {
+  None,
+  /// x86 MFENCE.
+  MFence,
+  /// Power sync (hwsync).
+  Sync,
+  /// Power lwsync.
+  LwSync,
+  /// Power isync.
+  ISync,
+  /// ARMv8 DMB (full).
+  Dmb,
+  /// ARMv8 DMB LD.
+  DmbLd,
+  /// ARMv8 DMB ST.
+  DmbSt,
+  /// ARMv8 ISB.
+  Isb,
+  /// C++ atomic_thread_fence (consistency mode in `MemOrder`).
+  CppFence,
+};
+
+/// Consistency modes. For C++ events this is the std::memory_order; for
+/// hardware events, `Acquire` marks acquire loads (ARMv8 LDAR / LDAXR) and
+/// `Release` marks release stores (ARMv8 STLR). `NonAtomic` marks plain
+/// accesses.
+enum class MemOrder : uint8_t {
+  NonAtomic,
+  Relaxed,
+  Acquire,
+  Release,
+  AcqRel,
+  SeqCst,
+};
+
+/// Returns true when \p MO includes acquire semantics.
+inline bool isAcquireOrder(MemOrder MO) {
+  return MO == MemOrder::Acquire || MO == MemOrder::AcqRel ||
+         MO == MemOrder::SeqCst;
+}
+
+/// Returns true when \p MO includes release semantics.
+inline bool isReleaseOrder(MemOrder MO) {
+  return MO == MemOrder::Release || MO == MemOrder::AcqRel ||
+         MO == MemOrder::SeqCst;
+}
+
+/// Location identifier; -1 for events that do not access memory.
+using LocId = int;
+
+/// A runtime memory event.
+struct Event {
+  EventKind Kind = EventKind::Read;
+  /// Owning thread, numbered densely from zero.
+  unsigned Thread = 0;
+  /// Accessed location, or -1 for fences and lock method calls.
+  LocId Loc = -1;
+  /// Consistency mode (see `MemOrder`).
+  MemOrder Order = MemOrder::NonAtomic;
+  /// Fence flavour; `None` unless `Kind == Fence`.
+  FenceKind Fence = FenceKind::None;
+  /// Value written, for writes. Assigned 1-based unique values by the
+  /// litmus-test generator when left at 0.
+  int WrittenValue = 0;
+
+  bool isRead() const { return Kind == EventKind::Read; }
+  bool isWrite() const { return Kind == EventKind::Write; }
+  bool isFence() const { return Kind == EventKind::Fence; }
+  bool isMemoryAccess() const { return isRead() || isWrite(); }
+  bool isLockCall() const {
+    return Kind == EventKind::Lock || Kind == EventKind::Unlock ||
+           Kind == EventKind::TxLock || Kind == EventKind::TxUnlock;
+  }
+  /// True for C++ events of atomic operations (Ato in Fig. 9).
+  bool isAtomic() const { return Order != MemOrder::NonAtomic; }
+  bool isAcquire() const { return isAcquireOrder(Order); }
+  bool isRelease() const { return isReleaseOrder(Order); }
+  bool isSeqCst() const { return Order == MemOrder::SeqCst; }
+};
+
+/// Short human-readable tag ("R", "W", "F:sync", ...).
+const char *eventKindName(EventKind K);
+/// Fence mnemonic ("mfence", "sync", ...).
+const char *fenceKindName(FenceKind F);
+/// Memory-order suffix ("na", "rlx", "acq", ...).
+const char *memOrderName(MemOrder MO);
+
+} // namespace tmw
+
+#endif // TMW_EXECUTION_EVENT_H

@@ -1,0 +1,35 @@
+//===- ImplModel.cpp - Axiomatic hardware substitutes -------------------------==//
+
+#include "hw/ImplModel.h"
+
+using namespace tmw;
+
+ImplModel::ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
+                     const char *Name)
+    : Spec(std::move(Spec)), NoLoadBuffering(NoLoadBuffering), Label(Name) {}
+
+ConsistencyResult ImplModel::check(const Execution &X) const {
+  ConsistencyResult R = Spec->check(X);
+  if (!R.Consistent)
+    return R;
+  if (NoLoadBuffering && !(X.Po | X.Rf).isAcyclic())
+    return ConsistencyResult::fail("NoLoadBuffering(impl)");
+  return ConsistencyResult::ok();
+}
+
+ImplModel ImplModel::power8() {
+  return ImplModel(std::make_unique<PowerModel>(), /*NoLoadBuffering=*/true,
+                   "POWER8 (simulated)");
+}
+
+ImplModel ImplModel::armv8Silicon() {
+  return ImplModel(std::make_unique<Armv8Model>(), /*NoLoadBuffering=*/true,
+                   "ARMv8+TM silicon (simulated)");
+}
+
+ImplModel ImplModel::armv8BuggyRtl() {
+  Armv8Model::Config C;
+  C.TxnOrder = false;
+  return ImplModel(std::make_unique<Armv8Model>(C),
+                   /*NoLoadBuffering=*/true, "ARMv8 RTL prototype (buggy)");
+}

@@ -1,0 +1,55 @@
+//===- ImplModel.h - Axiomatic hardware substitutes -------------*- C++ -*-==//
+///
+/// \file
+/// Axiomatic stand-ins for silicon. Real machines implement a strict
+/// subset of their architecture: POWER8, for instance, has never exhibited
+/// load-buffering (§5.3), and shipped cores are generally stronger than
+/// the specification. `ImplModel` wraps an architecture model and layers
+/// implementation conservatism on top — or, for the §6.2 experiment, a
+/// deliberate *bug* (an ARMv8 "RTL prototype" violating TxnOrder), so the
+/// Forbid suite can demonstrate its bug-finding power.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_HW_IMPLMODEL_H
+#define TMW_HW_IMPLMODEL_H
+
+#include "models/Armv8Model.h"
+#include "models/MemoryModel.h"
+#include "models/PowerModel.h"
+
+#include <memory>
+
+namespace tmw {
+
+/// A hardware implementation as an axiomatic model: the behaviours the
+/// simulated machine can exhibit.
+class ImplModel : public MemoryModel {
+public:
+  /// Wrap \p Spec; when \p NoLoadBuffering, additionally require
+  /// acyclic(po u rf) (LB shapes never occur, as on real Power/ARM parts).
+  ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
+            const char *Name);
+
+  const char *name() const override { return Label; }
+  Arch arch() const override { return Spec->arch(); }
+  ConsistencyResult check(const Execution &X) const override;
+
+  /// A conservative POWER8-like machine: the Power+TM model with no load
+  /// buffering.
+  static ImplModel power8();
+  /// A conservative ARMv8 part with the proposed TM extension.
+  static ImplModel armv8Silicon();
+  /// The §6.2 buggy RTL prototype: TxnOrder dropped, so lifted ob cycles
+  /// between transactions slip through.
+  static ImplModel armv8BuggyRtl();
+
+private:
+  std::unique_ptr<MemoryModel> Spec;
+  bool NoLoadBuffering;
+  const char *Label;
+};
+
+} // namespace tmw
+
+#endif // TMW_HW_IMPLMODEL_H

@@ -1,0 +1,62 @@
+//===- LitmusRunner.h - Running tests on simulated hardware -----*- C++ -*-==//
+///
+/// \file
+/// The stand-in for the Litmus tool (Alglave et al., TACAS 2011): runs a
+/// litmus test many times on a simulated machine and reports the outcome
+/// histogram and whether the postcondition was ever observed.
+///
+/// Two machine back-ends are supported: the operational TSO+TSX machine
+/// (x86), and axiomatic implementation models (Power/ARMv8) whose runs are
+/// sampled from the implementation-consistent candidate outcomes. In both
+/// cases the reachable outcome set is computed exhaustively, so `Seen` is
+/// an exact verdict; the histogram adds the statistical texture of a real
+/// campaign (rare weak outcomes, hot SC-like outcomes).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_HW_LITMUSRUNNER_H
+#define TMW_HW_LITMUSRUNNER_H
+
+#include "litmus/Program.h"
+#include "models/MemoryModel.h"
+
+#include <vector>
+
+namespace tmw {
+
+/// Result of one testing campaign for one litmus test.
+struct RunReport {
+  /// Distinct outcomes with simulated occurrence counts.
+  std::vector<std::pair<Outcome, uint64_t>> Histogram;
+  /// True when some reachable outcome satisfies the postcondition.
+  bool Seen = false;
+  uint64_t Runs = 0;
+};
+
+/// Run \p P on the operational x86-TSO+TSX machine \p Runs times.
+RunReport runOnTso(const Program &P, uint64_t Runs, uint64_t Seed = 42);
+
+/// Run \p P on an axiomatic implementation model \p Impl \p Runs times.
+RunReport runOnImpl(const Program &P, const MemoryModel &Impl,
+                    uint64_t Runs, uint64_t Seed = 42);
+
+/// True when some outcome in \p Observed both satisfies the postcondition
+/// of \p P and cannot be produced by any candidate execution consistent
+/// under \p Spec — i.e. the campaign genuinely witnessed a behaviour the
+/// model forbids.
+///
+/// This refines the raw "postcondition seen" verdict: with three or more
+/// writes to one location a final-state postcondition cannot pin the full
+/// coherence order (the paper's footnote 2), so a satisfying outcome may
+/// have a benign explanation. Soundness violations are only claimed when
+/// no consistent candidate explains the observation.
+bool observedForbiddenBehaviour(const Program &P, const MemoryModel &Spec,
+                                const std::vector<Outcome> &Observed);
+
+/// Reachable-outcome helper for `observedForbiddenBehaviour` on the
+/// operational machine.
+std::vector<Outcome> outcomesOf(const RunReport &R);
+
+} // namespace tmw
+
+#endif // TMW_HW_LITMUSRUNNER_H

@@ -1,0 +1,308 @@
+//===- TsoMachine.cpp - Operational x86-TSO + TSX machine ---------------------==//
+
+#include "hw/TsoMachine.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+
+using namespace tmw;
+
+namespace {
+
+/// Machine state for the DFS exploration. Kept comparable so visited
+/// states can be memoised.
+struct MachineState {
+  /// Next instruction index per thread.
+  std::vector<unsigned> Pc;
+  /// FIFO store buffers: (loc, value) oldest first.
+  std::vector<std::vector<std::pair<LocId, int>>> Buffers;
+  /// Register file: value of each executed load, indexed by instruction.
+  std::vector<std::vector<int>> Regs;
+  /// Whether each load has executed (loads inside failed transactions
+  /// never do).
+  std::vector<std::vector<bool>> RegValid;
+  /// Main memory by location id.
+  std::vector<int> Memory;
+  /// Per thread: inside an active transaction?
+  std::vector<bool> InTxn;
+  /// Transactional read/write sets and write buffer (loc -> value).
+  std::vector<std::vector<LocId>> ReadSet;
+  std::vector<std::vector<std::pair<LocId, int>>> TxnWrites;
+
+  bool operator<(const MachineState &O) const {
+    return std::tie(Pc, Buffers, Regs, RegValid, Memory, InTxn, ReadSet,
+                    TxnWrites) < std::tie(O.Pc, O.Buffers, O.Regs,
+                                          O.RegValid, O.Memory, O.InTxn,
+                                          O.ReadSet, O.TxnWrites);
+  }
+};
+
+class Explorer {
+public:
+  explicit Explorer(const Program &P) : P(P) {
+    NumLocs = static_cast<unsigned>(P.LocNames.size());
+    Ok = P.locByName("ok");
+  }
+
+  std::vector<Outcome> run() {
+    MachineState S;
+    unsigned T = static_cast<unsigned>(P.Threads.size());
+    S.Pc.assign(T, 0);
+    S.Buffers.assign(T, {});
+    S.Regs.resize(T);
+    S.RegValid.resize(T);
+    for (unsigned I = 0; I < T; ++I) {
+      S.Regs[I].assign(P.Threads[I].size(), 0);
+      S.RegValid[I].assign(P.Threads[I].size(), false);
+    }
+    S.Memory.assign(NumLocs, 0);
+    for (const auto &[L, V] : P.InitialValues)
+      S.Memory[L] = V;
+    S.InTxn.assign(T, false);
+    S.ReadSet.assign(T, {});
+    S.TxnWrites.assign(T, {});
+    explore(S);
+
+    std::vector<Outcome> Out(Final.begin(), Final.end());
+    return Out;
+  }
+
+private:
+  const Program &P;
+  unsigned NumLocs = 0;
+  LocId Ok = -1;
+  std::set<MachineState> Visited;
+  std::set<Outcome> Final;
+
+  bool done(const MachineState &S) const {
+    for (unsigned T = 0; T < S.Pc.size(); ++T)
+      if (S.Pc[T] < P.Threads[T].size() || !S.Buffers[T].empty())
+        return false;
+    return true;
+  }
+
+  void recordOutcome(const MachineState &S) {
+    Outcome O;
+    for (unsigned T = 0; T < S.Regs.size(); ++T)
+      for (unsigned I = 0; I < S.Regs[T].size(); ++I)
+        if (P.Threads[T][I].K == Instruction::Kind::Load &&
+            S.RegValid[T][I])
+          O.RegValues.push_back({T, I, S.Regs[T][I]});
+    std::sort(O.RegValues.begin(), O.RegValues.end());
+    O.MemValues.assign(NumLocs, 0);
+    for (unsigned L = 0; L < NumLocs; ++L)
+      O.MemValues[L] = S.Memory[L];
+    Final.insert(O);
+  }
+
+  /// A store by \p Writer to \p Loc became architecturally visible: abort
+  /// every other thread's transaction whose read or write set contains it.
+  void conflict(MachineState &S, unsigned Writer, LocId Loc) {
+    for (unsigned T = 0; T < S.InTxn.size(); ++T) {
+      if (T == Writer || !S.InTxn[T])
+        continue;
+      bool Hit = std::find(S.ReadSet[T].begin(), S.ReadSet[T].end(), Loc) !=
+                 S.ReadSet[T].end();
+      for (const auto &[L, V] : S.TxnWrites[T])
+        Hit |= L == Loc;
+      if (Hit)
+        abortTxn(S, T);
+    }
+  }
+
+  /// Roll back thread \p T's transaction and run its abort handler:
+  /// restore the architectural state (registers of rolled-back loads),
+  /// skip to after the matching txend, and enqueue `ok <- 0`.
+  void abortTxn(MachineState &S, unsigned T) {
+    S.InTxn[T] = false;
+    S.ReadSet[T].clear();
+    S.TxnWrites[T].clear();
+    // Registers written inside the transaction are restored: find the
+    // txbegin this abort belongs to and invalidate the loads after it.
+    unsigned Begin = S.Pc[T];
+    while (Begin > 0 &&
+           P.Threads[T][Begin - 1].K != Instruction::Kind::TxBegin)
+      --Begin;
+    for (unsigned I = Begin; I < S.Pc[T]; ++I)
+      if (P.Threads[T][I].K == Instruction::Kind::Load) {
+        S.Regs[T][I] = 0;
+        S.RegValid[T][I] = false;
+      }
+    unsigned Depth = 0;
+    while (S.Pc[T] < P.Threads[T].size()) {
+      const Instruction &I = P.Threads[T][S.Pc[T]];
+      ++S.Pc[T];
+      if (I.K == Instruction::Kind::TxEnd && Depth == 0)
+        break;
+      if (I.K == Instruction::Kind::TxBegin)
+        ++Depth;
+      if (I.K == Instruction::Kind::TxEnd && Depth > 0)
+        --Depth;
+    }
+    if (Ok >= 0)
+      S.Buffers[T].push_back({Ok, 0});
+  }
+
+  /// Latest buffered value for \p Loc in \p T's buffer, if any.
+  bool snoopBuffer(const MachineState &S, unsigned T, LocId Loc,
+                   int &Val) const {
+    for (auto It = S.Buffers[T].rbegin(); It != S.Buffers[T].rend(); ++It)
+      if (It->first == Loc) {
+        Val = It->second;
+        return true;
+      }
+    return false;
+  }
+
+  void explore(MachineState S) {
+    if (!Visited.insert(S).second)
+      return;
+    if (done(S)) {
+      recordOutcome(S);
+      return;
+    }
+
+    // Choice 1: drain the oldest store of some buffer to memory.
+    for (unsigned T = 0; T < S.Pc.size(); ++T) {
+      if (S.Buffers[T].empty())
+        continue;
+      MachineState N = S;
+      auto [Loc, Val] = N.Buffers[T].front();
+      N.Buffers[T].erase(N.Buffers[T].begin());
+      N.Memory[Loc] = Val;
+      conflict(N, T, Loc);
+      explore(std::move(N));
+    }
+
+    // Choice 2: step some thread's next instruction.
+    for (unsigned T = 0; T < S.Pc.size(); ++T) {
+      if (S.Pc[T] >= P.Threads[T].size())
+        continue;
+      const Instruction &I = P.Threads[T][S.Pc[T]];
+      switch (I.K) {
+      case Instruction::Kind::Load: {
+        if (I.Exclusive && I.RmwPartner >= 0) {
+          // Locked RMW: buffer must be empty; read+write atomic.
+          if (!S.Buffers[T].empty() || S.InTxn[T])
+            break;
+          MachineState N = S;
+          N.Regs[T][N.Pc[T]] = N.Memory[I.Loc];
+          N.RegValid[T][N.Pc[T]] = true;
+          const Instruction &W =
+              P.Threads[T][static_cast<unsigned>(I.RmwPartner)];
+          N.Memory[W.Loc] = W.Value;
+          conflict(N, T, W.Loc);
+          N.Pc[T] = static_cast<unsigned>(I.RmwPartner) + 1;
+          explore(std::move(N));
+          break;
+        }
+        MachineState N = S;
+        int Val;
+        if (N.InTxn[T]) {
+          // Transactional read: own txn writes, else memory; grow the
+          // read set.
+          bool FromTxn = false;
+          for (auto It = N.TxnWrites[T].rbegin();
+               It != N.TxnWrites[T].rend(); ++It)
+            if (It->first == I.Loc) {
+              Val = It->second;
+              FromTxn = true;
+              break;
+            }
+          if (!FromTxn)
+            Val = N.Memory[I.Loc];
+          if (std::find(N.ReadSet[T].begin(), N.ReadSet[T].end(), I.Loc) ==
+              N.ReadSet[T].end())
+            N.ReadSet[T].push_back(I.Loc);
+        } else if (!snoopBuffer(N, T, I.Loc, Val)) {
+          Val = N.Memory[I.Loc];
+        }
+        N.Regs[T][N.Pc[T]] = Val;
+        N.RegValid[T][N.Pc[T]] = true;
+        ++N.Pc[T];
+        explore(std::move(N));
+        break;
+      }
+      case Instruction::Kind::Store: {
+        if (I.Exclusive && I.RmwPartner >= 0 &&
+            static_cast<unsigned>(I.RmwPartner) < S.Pc[T])
+          break; // handled with the read half
+        MachineState N = S;
+        if (N.InTxn[T]) {
+          N.TxnWrites[T].push_back({I.Loc, I.Value});
+        } else {
+          N.Buffers[T].push_back({I.Loc, I.Value});
+        }
+        ++N.Pc[T];
+        explore(std::move(N));
+        break;
+      }
+      case Instruction::Kind::Fence: {
+        if (!S.Buffers[T].empty())
+          break; // MFENCE stalls until the buffer drains
+        MachineState N = S;
+        ++N.Pc[T];
+        explore(std::move(N));
+        break;
+      }
+      case Instruction::Kind::TxBegin: {
+        if (!S.Buffers[T].empty())
+          break; // boundary has locked-instruction semantics
+        {
+          MachineState N = S;
+          ++N.Pc[T];
+          N.InTxn[T] = true;
+          explore(std::move(N));
+        }
+        {
+          // Spontaneous abort: straight to the handler.
+          MachineState N = S;
+          ++N.Pc[T];
+          N.InTxn[T] = true;
+          abortTxn(N, T);
+          explore(std::move(N));
+        }
+        break;
+      }
+      case Instruction::Kind::TxEnd: {
+        if (!S.InTxn[T])
+          break;
+        MachineState N = S;
+        // Atomic commit: publish the write set, aborting conflicting
+        // transactions elsewhere.
+        for (const auto &[L, V] : N.TxnWrites[T]) {
+          N.Memory[L] = V;
+          conflict(N, T, L);
+        }
+        N.InTxn[T] = false;
+        N.ReadSet[T].clear();
+        N.TxnWrites[T].clear();
+        ++N.Pc[T];
+        explore(std::move(N));
+        break;
+      }
+      case Instruction::Kind::Lock:
+      case Instruction::Kind::Unlock:
+      case Instruction::Kind::TxLock:
+      case Instruction::Kind::TxUnlock:
+        // Lock method calls are abstract; they do not run on the machine.
+        break;
+      }
+    }
+  }
+};
+
+} // namespace
+
+std::vector<Outcome> TsoMachine::reachableOutcomes() {
+  Explorer E(P);
+  return E.run();
+}
+
+bool TsoMachine::postconditionObservable() {
+  for (const Outcome &O : reachableOutcomes())
+    if (O.satisfies(P))
+      return true;
+  return false;
+}

@@ -1,0 +1,198 @@
+//===- FromExecution.cpp - Executions to litmus tests -------------------------==//
+
+#include "litmus/FromExecution.h"
+
+#include <algorithm>
+
+using namespace tmw;
+
+namespace {
+
+/// Value written by each write: 1 + its coherence position.
+std::vector<int> assignWriteValues(const Execution &X) {
+  std::vector<int> Val(X.size(), 0);
+  for (EventId W : X.writes()) {
+    // Position = number of co-predecessors.
+    unsigned Pos = X.Co.restrictRange(EventSet::singleton(W)).domain().size();
+    Val[W] = static_cast<int>(Pos) + 1;
+  }
+  return Val;
+}
+
+/// Events of thread T sorted by program order.
+std::vector<EventId> threadEventsInPo(const Execution &X, unsigned T) {
+  std::vector<EventId> Es;
+  for (EventId E : X.ofThread(T))
+    Es.push_back(E);
+  std::sort(Es.begin(), Es.end(), [&X](EventId A, EventId B) {
+    return X.Po.contains(A, B);
+  });
+  return Es;
+}
+
+} // namespace
+
+ExecutionToProgram
+tmw::programFromExecution(const Execution &X, const std::string &Name) {
+  ExecutionToProgram Out;
+  Program &P = Out.Prog;
+  P.Name = Name;
+  Out.InstrOf.assign(X.size(), {0, 0});
+
+  unsigned NumLocs = X.numLocations();
+  for (unsigned L = 0; L < NumLocs; ++L)
+    P.LocNames.push_back(std::string(1, static_cast<char>('x' + L)));
+
+  std::vector<int> Val = assignWriteValues(X);
+  bool HasTxn = !X.transactional().empty();
+  if (HasTxn) {
+    LocId Ok = P.ensureLoc("ok");
+    P.InitialValues.push_back({Ok, 1});
+    P.MemPost.push_back({Ok, 1});
+  }
+
+  unsigned NumThreads = X.numThreads();
+  P.Threads.resize(NumThreads);
+  // Load-instruction index per event, for dependency references.
+  std::vector<int> LoadIndexOf(X.size(), -1);
+
+  for (unsigned T = 0; T < NumThreads; ++T) {
+    std::vector<EventId> Es = threadEventsInPo(X, T);
+    int CurTxn = kNoClass;
+    for (EventId E : Es) {
+      auto &Instrs = P.Threads[T];
+      if (X.Txn[E] != CurTxn) {
+        if (CurTxn != kNoClass) {
+          Instruction End;
+          End.K = Instruction::Kind::TxEnd;
+          Instrs.push_back(End);
+        }
+        if (X.Txn[E] != kNoClass) {
+          Instruction Begin;
+          Begin.K = Instruction::Kind::TxBegin;
+          Begin.TxnAtomic = (X.AtomicTxns >> X.Txn[E]) & 1;
+          Instrs.push_back(Begin);
+        }
+        CurTxn = X.Txn[E];
+      }
+
+      const Event &Ev = X.event(E);
+      Instruction I;
+      switch (Ev.Kind) {
+      case EventKind::Read:
+        I.K = Instruction::Kind::Load;
+        break;
+      case EventKind::Write:
+        I.K = Instruction::Kind::Store;
+        I.Value = Val[E];
+        break;
+      case EventKind::Fence:
+        I.K = Instruction::Kind::Fence;
+        I.FK = Ev.Fence;
+        break;
+      case EventKind::Lock:
+        I.K = Instruction::Kind::Lock;
+        break;
+      case EventKind::Unlock:
+        I.K = Instruction::Kind::Unlock;
+        break;
+      case EventKind::TxLock:
+        I.K = Instruction::Kind::TxLock;
+        break;
+      case EventKind::TxUnlock:
+        I.K = Instruction::Kind::TxUnlock;
+        break;
+      }
+      I.Loc = Ev.Loc;
+      I.MO = Ev.Order;
+      I.Exclusive = X.Rmw.domain().contains(E) || X.Rmw.range().contains(E);
+
+      Out.InstrOf[E] = {T, static_cast<unsigned>(Instrs.size())};
+      if (Ev.isRead())
+        LoadIndexOf[E] = static_cast<int>(Instrs.size());
+      Instrs.push_back(I);
+    }
+    if (CurTxn != kNoClass) {
+      Instruction End;
+      End.K = Instruction::Kind::TxEnd;
+      P.Threads[T].push_back(End);
+    }
+  }
+
+  // Dependencies and RMW pairing, resolved to instruction indices.
+  auto AddDeps = [&](const Relation &Rel,
+                     std::vector<unsigned> Instruction::*Member) {
+    Rel.forEachPair([&](EventId A, EventId B) {
+      auto [TB, IB] = Out.InstrOf[B];
+      assert(LoadIndexOf[A] >= 0 && "dependency from a non-load");
+      (P.Threads[TB][IB].*Member)
+          .push_back(static_cast<unsigned>(LoadIndexOf[A]));
+    });
+  };
+  AddDeps(X.Addr, &Instruction::AddrDeps);
+  AddDeps(X.Data, &Instruction::DataDeps);
+  // ctrl is forward-closed; a branch at the first target covers the rest.
+  Relation CtrlImm = X.Ctrl - X.Ctrl.compose(X.Po);
+  CtrlImm.forEachPair([&](EventId A, EventId B) {
+    auto [TB, IB] = Out.InstrOf[B];
+    assert(LoadIndexOf[A] >= 0 && "dependency from a non-load");
+    P.Threads[TB][IB].CtrlDeps.push_back(
+        static_cast<unsigned>(LoadIndexOf[A]));
+  });
+  X.Rmw.forEachPair([&](EventId A, EventId B) {
+    auto [TA, IA] = Out.InstrOf[A];
+    auto [TB, IB] = Out.InstrOf[B];
+    assert(TA == TB && "rmw crosses threads");
+    P.Threads[TA][IA].RmwPartner = static_cast<int>(IB);
+    P.Threads[TB][IB].RmwPartner = static_cast<int>(IA);
+  });
+
+  // Postcondition: registers pin rf, final memory pins co.
+  for (EventId R : X.reads()) {
+    EventSet Srcs = X.Rf.restrictRange(EventSet::singleton(R)).domain();
+    int Expect = 0;
+    for (EventId W : Srcs)
+      Expect = Val[W];
+    auto [T, I] = Out.InstrOf[R];
+    (void)I;
+    P.RegPost.push_back(
+        {T, static_cast<unsigned>(LoadIndexOf[R]), Expect});
+  }
+  for (unsigned L = 0; L < NumLocs; ++L) {
+    EventSet Ws = X.writes() & X.atLocation(static_cast<LocId>(L));
+    if (Ws.empty())
+      continue;
+    int FinalVal = 0;
+    for (EventId W : Ws)
+      if ((X.Co.successors(W) & Ws).empty())
+        FinalVal = Val[W];
+    P.MemPost.push_back({static_cast<LocId>(L), FinalVal});
+  }
+
+  return Out;
+}
+
+Outcome tmw::expectedOutcome(const Execution &X, const Program &P) {
+  Outcome O;
+  std::vector<int> Val = assignWriteValues(X);
+  ExecutionToProgram Map = programFromExecution(X, P.Name);
+  for (EventId R : X.reads()) {
+    EventSet Srcs = X.Rf.restrictRange(EventSet::singleton(R)).domain();
+    int V = 0;
+    for (EventId W : Srcs)
+      V = Val[W];
+    auto [T, I] = Map.InstrOf[R];
+    O.RegValues.push_back({T, I, V});
+  }
+  std::sort(O.RegValues.begin(), O.RegValues.end());
+  O.MemValues.assign(P.LocNames.size(), 0);
+  for (const auto &[L, V] : P.InitialValues)
+    O.MemValues[L] = V;
+  for (unsigned L = 0; L < X.numLocations(); ++L) {
+    EventSet Ws = X.writes() & X.atLocation(static_cast<LocId>(L));
+    for (EventId W : Ws)
+      if ((X.Co.successors(W) & Ws).empty())
+        O.MemValues[L] = Val[W];
+  }
+  return O;
+}

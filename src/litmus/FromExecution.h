@@ -1,0 +1,45 @@
+//===- FromExecution.h - Executions to litmus tests -------------*- C++ -*-==//
+///
+/// \file
+/// Converts an execution of interest into a litmus test whose postcondition
+/// passes exactly when that execution is taken (§2.2, §3.2): every store
+/// writes a unique non-zero value per location (its coherence position),
+/// every read's register is asserted to hold the value of its rf-source
+/// (zero for initial reads), final memory pins the coherence maximum, and
+/// transactions are delimited by txbegin/txend with an `ok` location zeroed
+/// by the abort handler.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_LITMUS_FROMEXECUTION_H
+#define TMW_LITMUS_FROMEXECUTION_H
+
+#include "execution/Execution.h"
+#include "litmus/Program.h"
+
+namespace tmw {
+
+/// Mapping from events of the source execution to instructions of the
+/// generated program.
+struct ExecutionToProgram {
+  Program Prog;
+  /// Per event: (thread, instruction index).
+  std::vector<std::pair<unsigned, unsigned>> InstrOf;
+};
+
+/// Build the litmus test of \p X. \p Name labels the test.
+///
+/// Note (paper footnote 2): with more than two writes to one location the
+/// postcondition pins the coherence extremes but not the full order; the
+/// candidate-matching used by the simulated hardware compares full
+/// outcomes, which is exactly what running such a test measures.
+ExecutionToProgram programFromExecution(const Execution &X,
+                                        const std::string &Name = "test");
+
+/// The expected outcome of \p X under the value assignment used by
+/// `programFromExecution` (rf-source values and final coherence values).
+Outcome expectedOutcome(const Execution &X, const Program &P);
+
+} // namespace tmw
+
+#endif // TMW_LITMUS_FROMEXECUTION_H

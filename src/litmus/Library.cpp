@@ -1,0 +1,611 @@
+//===- Library.cpp - A curated litmus-test corpus ------------------------------==//
+
+#include "litmus/Library.h"
+
+#include "litmus/Parser.h"
+
+#include <cassert>
+
+using namespace tmw;
+
+namespace {
+
+/// nullopt-friendly shorthand for verdict columns.
+constexpr std::optional<bool> Y = true, N = false, U = std::nullopt;
+
+CorpusEntry entry(const char *Name, const char *Family, const char *Dsl,
+                  std::optional<bool> Sc, std::optional<bool> Tsc,
+                  std::optional<bool> X86, std::optional<bool> Power,
+                  std::optional<bool> Armv8, const char *Note) {
+  ParseResult R = parseProgram(Dsl);
+  assert(R && "corpus entry failed to parse");
+  CorpusEntry E;
+  E.Name = Name;
+  E.Family = Family;
+  E.Prog = R.Prog;
+  E.Prog.Name = Name;
+  E.Sc = Sc;
+  E.Tsc = Tsc;
+  E.X86 = X86;
+  E.Power = Power;
+  E.Armv8 = Armv8;
+  E.Note = Note;
+  return E;
+}
+
+} // namespace
+
+std::vector<CorpusEntry> tmw::standardCorpus() {
+  std::vector<CorpusEntry> C;
+
+  C.push_back(entry("SB", "SB", R"(thread 0
+  store x 1
+  load y
+thread 1
+  store y 1
+  load x
+post reg 0 r1 0
+post reg 1 r1 0
+)",
+                    N, N, Y, Y, Y, "store buffering: the TSO relaxation"));
+
+  C.push_back(entry("SB+mfences", "SB", R"(thread 0
+  store x 1
+  fence mfence
+  load y
+thread 1
+  store y 1
+  fence mfence
+  load x
+post reg 0 r2 0
+post reg 1 r2 0
+)",
+                    N, N, N, U, U, "full fences restore SC on x86"));
+
+  C.push_back(entry("SB+syncs", "SB", R"(thread 0
+  store x 1
+  fence sync
+  load y
+thread 1
+  store y 1
+  fence sync
+  load x
+post reg 0 r2 0
+post reg 1 r2 0
+)",
+                    N, N, U, N, U, "sync restores SC for SB on Power"));
+
+  C.push_back(entry("SB+dmbs", "SB", R"(thread 0
+  store x 1
+  fence dmb
+  load y
+thread 1
+  store y 1
+  fence dmb
+  load x
+post reg 0 r2 0
+post reg 1 r2 0
+)",
+                    N, N, U, U, N, "DMB restores SC for SB on ARMv8"));
+
+  C.push_back(entry("SB+txns", "SB", R"(loc ok 1
+thread 0
+  txbegin
+  store x 1
+  txend
+  load y
+thread 1
+  txbegin
+  store y 1
+  txend
+  load x
+post mem ok 1
+post reg 0 r3 0
+post reg 1 r3 0
+)",
+                    N, N, N, N, N,
+                    "implicit transaction fences act like full fences"));
+
+  C.push_back(entry("MP", "MP", R"(thread 0
+  store x 1
+  store y 1
+thread 1
+  load y
+  load x
+post reg 1 r0 1
+post reg 1 r1 0
+)",
+                    N, N, N, Y, Y, "message passing, no synchronisation"));
+
+  C.push_back(entry("MP+lwsync+addr", "MP", R"(thread 0
+  store x 1
+  fence lwsync
+  store y 1
+thread 1
+  load y
+  load x addr:r0
+post reg 1 r0 1
+post reg 1 r1 0
+)",
+                    N, N, N, N, U,
+                    "the classic Power publication idiom"));
+
+  C.push_back(entry("MP+dmb+addr", "MP", R"(thread 0
+  store x 1
+  fence dmb
+  store y 1
+thread 1
+  load y
+  load x addr:r0
+post reg 1 r0 1
+post reg 1 r1 0
+)",
+                    N, N, N, U, N, "the ARMv8 publication idiom"));
+
+  C.push_back(entry("MP+rel+acq", "MP", R"(thread 0
+  store x 1
+  store y 1 rel
+thread 1
+  load y acq
+  load x
+post reg 1 r0 1
+post reg 1 r1 0
+)",
+                    N, N, N, U, N,
+                    "STLR/LDAR pair forbids the stale read on ARMv8"));
+
+  C.push_back(entry("MP+txn+addr", "MP", R"(loc ok 1
+thread 0
+  txbegin
+  store x 1
+  store y 1
+  txend
+thread 1
+  load y
+  load x addr:r0
+post mem ok 1
+post reg 1 r0 1
+post reg 1 r1 0
+)",
+                    N, N, N, N, N,
+                    "transactional stores become visible together"));
+
+  C.push_back(entry("LB", "LB", R"(thread 0
+  load x
+  store y 1
+thread 1
+  load y
+  store x 1
+post reg 0 r0 1
+post reg 1 r0 1
+)",
+                    N, N, N, Y, Y,
+                    "load buffering: allowed by Power/ARMv8 models, never "
+                    "observed on Power silicon"));
+
+  C.push_back(entry("LB+datas", "LB", R"(thread 0
+  load x
+  store y 1 data:r0
+thread 1
+  load y
+  store x 1 data:r0
+post reg 0 r0 1
+post reg 1 r0 1
+)",
+                    N, N, N, N, N, "data dependencies forbid LB"));
+
+  C.push_back(entry("WRC", "WRC", R"(thread 0
+  store x 1
+thread 1
+  load x
+  store y 1
+thread 2
+  load y
+  load x
+post reg 1 r0 1
+post reg 2 r0 1
+post reg 2 r1 0
+)",
+                    N, N, N, Y, Y, "write-to-read causality, plain"));
+
+  C.push_back(entry("WRC+data+addr", "WRC", R"(thread 0
+  store x 1
+thread 1
+  load x
+  store y 1 data:r0
+thread 2
+  load y
+  load x addr:r0
+post reg 1 r0 1
+post reg 2 r0 1
+post reg 2 r1 0
+)",
+                    N, N, N, Y, N,
+                    "deps alone do not restore causality on non-MCA Power; "
+                    "they do on MCA ARMv8"));
+
+  C.push_back(entry("WRC+txn+addr", "WRC", R"(loc ok 1
+thread 0
+  store x 1
+thread 1
+  txbegin
+  load x
+  store y 1
+  txend
+thread 2
+  load y
+  load x addr:r0
+post mem ok 1
+post reg 1 r0 1
+post reg 2 r0 1
+post reg 2 r1 0
+)",
+                    N, N, N, N, N,
+                    "§5.2 (1): the transaction's integrated barrier "
+                    "(tprop1) restores causality"));
+
+  C.push_back(entry("IRIW", "IRIW", R"(thread 0
+  store x 1
+thread 1
+  load x
+  load y
+thread 2
+  load y
+  load x
+thread 3
+  store y 1
+post reg 1 r0 1
+post reg 1 r1 0
+post reg 2 r0 1
+post reg 2 r1 0
+)",
+                    N, N, N, Y, Y, "independent reads, plain"));
+
+  C.push_back(entry("IRIW+addrs", "IRIW", R"(thread 0
+  store x 1
+thread 1
+  load x
+  load y addr:r0
+thread 2
+  load y
+  load x addr:r0
+thread 3
+  store y 1
+post reg 1 r0 1
+post reg 1 r1 0
+post reg 2 r0 1
+post reg 2 r1 0
+)",
+                    N, N, N, Y, N,
+                    "multicopy-atomicity separates ARMv8 (forbidden) from "
+                    "Power (allowed)"));
+
+  C.push_back(entry("IRIW+syncs", "IRIW", R"(thread 0
+  store x 1
+thread 1
+  load x
+  fence sync
+  load y
+thread 2
+  load y
+  fence sync
+  load x
+thread 3
+  store y 1
+post reg 1 r0 1
+post reg 1 r2 0
+post reg 2 r0 1
+post reg 2 r2 0
+)",
+                    N, N, N, N, U, "syncs forbid IRIW even on Power"));
+
+  C.push_back(entry("IRIW+txn-writers+addrs", "IRIW", R"(loc ok 1
+thread 0
+  txbegin
+  store x 1
+  txend
+thread 1
+  load x
+  load y addr:r0
+thread 2
+  load y
+  load x addr:r0
+thread 3
+  txbegin
+  store y 1
+  txend
+post mem ok 1
+post reg 1 r0 1
+post reg 1 r1 0
+post reg 2 r0 1
+post reg 2 r1 0
+)",
+                    N, N, N, N, N,
+                    "§5.2 (3): successful transactions serialise (thb)"));
+
+  C.push_back(entry("IRIW+one-txn-writer+addrs", "IRIW", R"(loc ok 1
+thread 0
+  txbegin
+  store x 1
+  txend
+thread 1
+  load x
+  load y addr:r0
+thread 2
+  load y
+  load x addr:r0
+thread 3
+  store y 1
+post mem ok 1
+post reg 1 r0 1
+post reg 1 r1 0
+post reg 2 r0 1
+post reg 2 r1 0
+)",
+                    N, N, N, Y, N,
+                    "§5.3: with one transactional writer the behaviour "
+                    "was observed on POWER8 and the model allows it"));
+
+  C.push_back(entry("CoRR", "coherence", R"(thread 0
+  store x 1
+  store x 2
+thread 1
+  load x
+  load x
+post reg 1 r0 2
+post reg 1 r1 1
+)",
+                    N, N, N, N, N,
+                    "coherence: new-then-old reads are forbidden "
+                    "everywhere"));
+
+  C.push_back(entry("CoWW", "coherence", R"(thread 0
+  store x 1
+  store x 2
+thread 1
+  load x
+post mem x 1
+post reg 1 r0 2
+)",
+                    N, N, N, N, N,
+                    "coherence: po-later store cannot lose to the earlier "
+                    "one"));
+
+  C.push_back(entry("2+2W", "2+2W", R"(thread 0
+  store x 1
+  store y 2
+thread 1
+  store y 1
+  store x 2
+post mem x 1
+post mem y 1
+)",
+                    N, N, N, Y, Y, "double cross-over of write pairs"));
+
+  C.push_back(entry("2+2W+txns", "2+2W", R"(loc ok 1
+thread 0
+  txbegin
+  store x 1
+  store y 2
+  txend
+thread 1
+  txbegin
+  store y 1
+  store x 2
+  txend
+post mem ok 1
+post mem x 1
+post mem y 1
+)",
+                    N, N, N, N, N,
+                    "transactions must serialise: the cross-over would "
+                    "order each before the other"));
+
+  C.push_back(entry("R", "R", R"(thread 0
+  store x 1
+  store y 1
+thread 1
+  store y 2
+  load x
+post mem y 2
+post reg 1 r1 0
+)",
+                    N, N, Y, Y, Y,
+                    "R: write-write then write-read, allowed on TSO"));
+
+  C.push_back(entry("S", "S", R"(thread 0
+  store x 2
+  store y 1
+thread 1
+  load y
+  store x 1
+post mem x 2
+post reg 1 r0 1
+)",
+                    N, N, N, Y, Y,
+                    "S: the late write loses the coherence race; TSO's "
+                    "write-write order forbids it"));
+
+  C.push_back(entry("S+data", "S", R"(thread 0
+  store x 2
+  store y 1
+thread 1
+  load y
+  store x 1 data:r0
+post mem x 2
+post reg 1 r0 1
+)",
+                    N, N, N, Y, Y,
+                    "a data dependency alone does not fix S — the writer "
+                    "needs a barrier"));
+
+  C.push_back(entry("S+lwsync+data", "S", R"(thread 0
+  store x 2
+  fence lwsync
+  store y 1
+thread 1
+  load y
+  store x 1 data:r0
+post mem x 2
+post reg 1 r0 1
+)",
+                    N, N, N, N, U,
+                    "lwsync + data forbids S on Power (Propagation)"));
+
+  C.push_back(entry("SB+rmws", "SB", R"(thread 0
+  load x excl rmw:1
+  store x 1 excl rmw:0
+  load y
+thread 1
+  load y excl rmw:1
+  store y 1 excl rmw:0
+  load x
+post reg 0 r2 0
+post reg 1 r2 0
+)",
+                    N, N, N, Y, Y,
+                    "locked RMWs fence SB on x86; Power/ARMv8 exclusives "
+                    "carry no implicit barrier"));
+
+  C.push_back(entry("MP+txn-reader", "MP", R"(loc ok 1
+thread 0
+  store x 1
+  store y 1
+thread 1
+  txbegin
+  load y
+  load x
+  txend
+post mem ok 1
+post reg 1 r1 1
+post reg 1 r2 0
+)",
+                    N, N, N, Y, Y,
+                    "a transactional *reader* alone does not fix MP on "
+                    "weak machines (its boundary fences border nothing) — "
+                    "TSC forbids it, the hardware TM models allow it: the "
+                    "models sit strictly between the §3 bounds"));
+
+  C.push_back(entry("LB+ctrls", "LB", R"(thread 0
+  load x
+  store y 1 ctrl:r0
+thread 1
+  load y
+  store x 1 ctrl:r0
+post reg 0 r0 1
+post reg 1 r0 1
+)",
+                    N, N, N, N, N,
+                    "control dependencies to stores are preserved "
+                    "everywhere: no LB"));
+
+  C.push_back(entry("CoRW1", "coherence", R"(thread 0
+  load x
+  store x 1
+thread 1
+  load x
+post reg 0 r0 1
+)",
+                    N, N, N, N, N,
+                    "a load cannot observe the po-later store to the same "
+                    "location"));
+
+  C.push_back(entry("IRIW+dmbs", "IRIW", R"(thread 0
+  store x 1
+thread 1
+  load x
+  fence dmb
+  load y
+thread 2
+  load y
+  fence dmb
+  load x
+thread 3
+  store y 1
+post reg 1 r0 1
+post reg 1 r2 0
+post reg 2 r0 1
+post reg 2 r2 0
+)",
+                    N, N, N, U, N,
+                    "DMBs forbid IRIW on multicopy-atomic ARMv8"));
+
+  C.push_back(entry("Fig2-txn", "paper", R"(loc ok 1
+thread 0
+  txbegin
+  store x 1
+  load x
+  txend
+thread 1
+  store x 2
+post mem ok 1
+post reg 0 r2 2
+post mem x 2
+)",
+                    Y, N, N, N, N,
+                    "Fig. 2: the external write lands between the "
+                    "transaction's write and read — SC allows, every TM "
+                    "model forbids (strong isolation)"));
+
+  C.push_back(entry("Fig3d-containment", "paper", R"(loc ok 1
+thread 0
+  txbegin
+  store x 1
+  store x 2
+  txend
+thread 1
+  load x
+post mem ok 1
+post reg 1 r0 1
+post mem x 2
+)",
+                    Y, N, N, N, N,
+                    "Fig. 3(d): an external read observes the "
+                    "transaction's intermediate write"));
+
+  C.push_back(entry("Example1.1", "paper", R"(loc ok 1
+thread 0
+  load m acq excl rmw:1
+  store m 1 excl rmw:0 ctrl:r0
+  load x
+  store x 2 data:r2
+  store m 0 rel
+thread 1
+  txbegin
+  load m
+  store x 1
+  txend
+post mem ok 1
+post reg 0 r0 0
+post reg 0 r2 0
+post reg 1 r1 0
+post mem x 2
+post mem m 0
+)",
+                    Y, N, N, U, Y,
+                    "Example 1.1: mutual exclusion violated under the "
+                    "ARMv8 TM proposal — the headline finding. Plain SC "
+                    "(no transaction or RMW axioms) also reaches it; TSC "
+                    "and x86's locked RMW forbid it; Power is discussed "
+                    "in EXPERIMENTS.md"));
+
+  return C;
+}
+
+std::optional<bool> tmw::expectedVerdict(const CorpusEntry &E, Arch A) {
+  switch (A) {
+  case Arch::SC:
+    return E.Sc;
+  case Arch::TSC:
+    return E.Tsc;
+  case Arch::X86:
+    return E.X86;
+  case Arch::Power:
+    return E.Power;
+  case Arch::Armv8:
+    return E.Armv8;
+  case Arch::Cpp:
+    return std::nullopt;
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,48 @@
+//===- Library.h - A curated litmus-test corpus -----------------*- C++ -*-==//
+///
+/// \file
+/// The classic litmus tests (SB, MP, LB, WRC, IRIW, coherence shapes,
+/// 2+2W, R, S) plus the paper's transactional variants, as parsed
+/// programs with their expected verdicts under each model. The corpus is
+/// the shared regression bed for the model tests, the simulated-hardware
+/// tests, and the verdict-matrix bench.
+///
+/// Expected verdicts record whether the *postcondition is reachable*
+/// (i.e. the weak behaviour is allowed); `unknown` marks combinations the
+/// entry does not constrain.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_LITMUS_LIBRARY_H
+#define TMW_LITMUS_LIBRARY_H
+
+#include "litmus/Program.h"
+#include "models/MemoryModel.h"
+
+#include <optional>
+#include <vector>
+
+namespace tmw {
+
+/// One corpus entry: a named test and its expected verdicts.
+struct CorpusEntry {
+  /// Test name, e.g. "SB+txns".
+  std::string Name;
+  /// Shape family, e.g. "SB".
+  std::string Family;
+  Program Prog;
+  /// Expected reachability per model; `nullopt` = unconstrained.
+  std::optional<bool> Sc, Tsc, X86, Power, Armv8;
+  /// One-line provenance note (paper section, folklore name, ...).
+  std::string Note;
+};
+
+/// The standard corpus (built once per call; ~25 entries).
+std::vector<CorpusEntry> standardCorpus();
+
+/// Look up the expected verdict of \p E for \p A.
+std::optional<bool> expectedVerdict(const CorpusEntry &E, Arch A);
+
+} // namespace tmw
+
+#endif // TMW_LITMUS_LIBRARY_H

@@ -1,0 +1,272 @@
+//===- Parser.cpp - Parsing the litmus DSL --------------------------------------==//
+
+#include "litmus/Parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+#include <vector>
+
+using namespace tmw;
+
+namespace {
+
+std::vector<std::string> tokenize(const std::string &Line) {
+  std::vector<std::string> Toks;
+  std::istringstream In(Line);
+  std::string Tok;
+  while (In >> Tok) {
+    if (Tok[0] == '#')
+      break;
+    Toks.push_back(Tok);
+  }
+  return Toks;
+}
+
+bool parseInt(const std::string &S, int &Out) {
+  char *End = nullptr;
+  long V = strtol(S.c_str(), &End, 10);
+  if (End == S.c_str() || *End != '\0')
+    return false;
+  Out = static_cast<int>(V);
+  return true;
+}
+
+MemOrder parseOrder(const std::string &S, bool &Ok) {
+  Ok = true;
+  if (S == "na")
+    return MemOrder::NonAtomic;
+  if (S == "rlx")
+    return MemOrder::Relaxed;
+  if (S == "acq")
+    return MemOrder::Acquire;
+  if (S == "rel")
+    return MemOrder::Release;
+  if (S == "acqrel")
+    return MemOrder::AcqRel;
+  if (S == "sc")
+    return MemOrder::SeqCst;
+  Ok = false;
+  return MemOrder::NonAtomic;
+}
+
+FenceKind parseFence(const std::string &S, bool &Ok) {
+  Ok = true;
+  if (S == "mfence")
+    return FenceKind::MFence;
+  if (S == "sync")
+    return FenceKind::Sync;
+  if (S == "lwsync")
+    return FenceKind::LwSync;
+  if (S == "isync")
+    return FenceKind::ISync;
+  if (S == "dmb")
+    return FenceKind::Dmb;
+  if (S == "dmb.ld")
+    return FenceKind::DmbLd;
+  if (S == "dmb.st")
+    return FenceKind::DmbSt;
+  if (S == "isb")
+    return FenceKind::Isb;
+  if (S == "fence")
+    return FenceKind::CppFence;
+  Ok = false;
+  return FenceKind::None;
+}
+
+/// Parse trailing attributes (excl, addr:rN, data:rN, ctrl:rN, rmw:N).
+bool parseAttrs(const std::vector<std::string> &Toks, size_t From,
+                Instruction &I, std::string &Err) {
+  for (size_t T = From; T < Toks.size(); ++T) {
+    const std::string &A = Toks[T];
+    if (A == "excl") {
+      I.Exclusive = true;
+      continue;
+    }
+    auto ParseRef = [&](const char *Prefix,
+                        std::vector<unsigned> *Deps) -> bool {
+      size_t Len = strlen(Prefix);
+      if (A.compare(0, Len, Prefix) != 0)
+        return false;
+      int V;
+      std::string Rest = A.substr(Len);
+      if (!Rest.empty() && Rest[0] == 'r')
+        Rest = Rest.substr(1);
+      if (!parseInt(Rest, V) || V < 0) {
+        Err = "bad dependency reference: " + A;
+        return true;
+      }
+      if (Deps)
+        Deps->push_back(static_cast<unsigned>(V));
+      else
+        I.RmwPartner = V;
+      return true;
+    };
+    if (ParseRef("addr:", &I.AddrDeps) || ParseRef("data:", &I.DataDeps) ||
+        ParseRef("ctrl:", &I.CtrlDeps) || ParseRef("rmw:", nullptr)) {
+      if (!Err.empty())
+        return false;
+      continue;
+    }
+    Err = "unknown attribute: " + A;
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+ParseResult tmw::parseProgram(const std::string &Text) {
+  ParseResult Res;
+  Program &P = Res.Prog;
+  int CurThread = -1;
+  unsigned LineNo = 0;
+
+  std::istringstream In(Text);
+  std::string Line;
+  auto Fail = [&](const std::string &Msg) {
+    Res.Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    return Res;
+  };
+
+  while (std::getline(In, Line)) {
+    ++LineNo;
+    std::vector<std::string> Toks = tokenize(Line);
+    if (Toks.empty())
+      continue;
+    const std::string &Cmd = Toks[0];
+
+    if (Cmd == "name") {
+      if (Toks.size() < 2)
+        return Fail("name requires an argument");
+      P.Name = Toks[1];
+      continue;
+    }
+    if (Cmd == "loc") {
+      if (Toks.size() < 3)
+        return Fail("loc requires a name and an initial value");
+      int V;
+      if (!parseInt(Toks[2], V))
+        return Fail("bad initial value");
+      LocId L = P.ensureLoc(Toks[1]);
+      if (V != 0)
+        P.InitialValues.push_back({L, V});
+      continue;
+    }
+    if (Cmd == "thread") {
+      int T;
+      if (Toks.size() < 2 || !parseInt(Toks[1], T) || T < 0)
+        return Fail("bad thread index");
+      while (static_cast<int>(P.Threads.size()) <= T)
+        P.Threads.emplace_back();
+      CurThread = T;
+      continue;
+    }
+    if (Cmd == "post") {
+      if (Toks.size() < 2)
+        return Fail("incomplete postcondition");
+      if (Toks[1] == "reg") {
+        int T, V;
+        if (Toks.size() < 5 || !parseInt(Toks[2], T))
+          return Fail("post reg requires: thread, register, value");
+        std::string Reg = Toks[3];
+        if (!Reg.empty() && Reg[0] == 'r')
+          Reg = Reg.substr(1);
+        int RI;
+        if (!parseInt(Reg, RI) || !parseInt(Toks[4], V))
+          return Fail("bad post reg operands");
+        P.RegPost.push_back({static_cast<unsigned>(T),
+                             static_cast<unsigned>(RI), V});
+        continue;
+      }
+      if (Toks[1] == "mem") {
+        int V;
+        if (Toks.size() < 4 || !parseInt(Toks[3], V))
+          return Fail("post mem requires: location, value");
+        P.MemPost.push_back({P.ensureLoc(Toks[2]), V});
+        continue;
+      }
+      return Fail("unknown postcondition kind: " + Toks[1]);
+    }
+
+    // Everything else is an instruction inside the current thread.
+    if (CurThread < 0)
+      return Fail("instruction outside any thread");
+    Instruction I;
+    size_t AttrsFrom = 1;
+    std::string AttrErr;
+
+    if (Cmd == "load") {
+      if (Toks.size() < 2)
+        return Fail("load requires a location");
+      I.K = Instruction::Kind::Load;
+      I.Loc = P.ensureLoc(Toks[1]);
+      AttrsFrom = 2;
+      if (Toks.size() > 2) {
+        bool Ok;
+        MemOrder MO = parseOrder(Toks[2], Ok);
+        if (Ok) {
+          I.MO = MO;
+          AttrsFrom = 3;
+        }
+      }
+    } else if (Cmd == "store") {
+      int V;
+      if (Toks.size() < 3 || !parseInt(Toks[2], V))
+        return Fail("store requires a location and a value");
+      I.K = Instruction::Kind::Store;
+      I.Loc = P.ensureLoc(Toks[1]);
+      I.Value = V;
+      AttrsFrom = 3;
+      if (Toks.size() > 3) {
+        bool Ok;
+        MemOrder MO = parseOrder(Toks[3], Ok);
+        if (Ok) {
+          I.MO = MO;
+          AttrsFrom = 4;
+        }
+      }
+    } else if (Cmd == "fence") {
+      if (Toks.size() < 2)
+        return Fail("fence requires a flavour");
+      bool Ok;
+      I.K = Instruction::Kind::Fence;
+      I.FK = parseFence(Toks[1], Ok);
+      if (!Ok)
+        return Fail("unknown fence flavour: " + Toks[1]);
+      AttrsFrom = 2;
+      if (I.FK == FenceKind::CppFence && Toks.size() > 2) {
+        MemOrder MO = parseOrder(Toks[2], Ok);
+        if (Ok) {
+          I.MO = MO;
+          AttrsFrom = 3;
+        }
+      }
+    } else if (Cmd == "txbegin") {
+      I.K = Instruction::Kind::TxBegin;
+      if (Toks.size() > 1 && Toks[1] == "atomic") {
+        I.TxnAtomic = true;
+        AttrsFrom = 2;
+      }
+    } else if (Cmd == "txend") {
+      I.K = Instruction::Kind::TxEnd;
+    } else if (Cmd == "lock") {
+      I.K = Instruction::Kind::Lock;
+    } else if (Cmd == "unlock") {
+      I.K = Instruction::Kind::Unlock;
+    } else if (Cmd == "txlock") {
+      I.K = Instruction::Kind::TxLock;
+    } else if (Cmd == "txunlock") {
+      I.K = Instruction::Kind::TxUnlock;
+    } else {
+      return Fail("unknown instruction: " + Cmd);
+    }
+
+    if (!parseAttrs(Toks, AttrsFrom, I, AttrErr))
+      return Fail(AttrErr);
+    P.Threads[CurThread].push_back(I);
+  }
+
+  return Res;
+}

@@ -1,0 +1,48 @@
+//===- Parser.h - Parsing the litmus DSL ------------------------*- C++ -*-==//
+///
+/// \file
+/// Parses the line-oriented litmus DSL emitted by `printDsl`:
+///
+/// \code
+///   name SB+txn
+///   loc x 0
+///   thread 0
+///     store x 1
+///     load y na
+///   thread 1
+///     txbegin
+///     store y 1
+///     txend
+///   post reg 0 r1 0
+///   post mem x 1
+/// \endcode
+///
+/// Parsing never aborts the process: errors are reported through the
+/// result's `Error` field.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_LITMUS_PARSER_H
+#define TMW_LITMUS_PARSER_H
+
+#include "litmus/Program.h"
+
+#include <string>
+
+namespace tmw {
+
+/// Result of parsing: the program, or a diagnostic.
+struct ParseResult {
+  Program Prog;
+  /// Empty when parsing succeeded.
+  std::string Error;
+
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Parse \p Text in the DSL of `printDsl`.
+ParseResult parseProgram(const std::string &Text);
+
+} // namespace tmw
+
+#endif // TMW_LITMUS_PARSER_H

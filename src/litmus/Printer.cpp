@@ -1,0 +1,379 @@
+//===- Printer.cpp - Rendering litmus tests ------------------------------------==//
+
+#include "litmus/Printer.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+using namespace tmw;
+
+namespace {
+
+std::string locName(const Program &P, LocId L) {
+  if (L >= 0 && static_cast<size_t>(L) < P.LocNames.size())
+    return P.LocNames[L];
+  return "?";
+}
+
+std::string fmt(const char *Format, ...)
+    __attribute__((format(printf, 1, 2)));
+
+std::string fmt(const char *Format, ...) {
+  char Buf[256];
+  va_list Args;
+  va_start(Args, Format);
+  vsnprintf(Buf, sizeof(Buf), Format, Args);
+  va_end(Args);
+  return Buf;
+}
+
+std::string depSuffix(const Instruction &I) {
+  std::string Out;
+  for (unsigned D : I.AddrDeps)
+    Out += fmt(" [addr r%u]", D);
+  for (unsigned D : I.DataDeps)
+    Out += fmt(" [data r%u]", D);
+  for (unsigned D : I.CtrlDeps)
+    Out += fmt(" [ctrl r%u]", D);
+  return Out;
+}
+
+std::string header(const Program &P) {
+  std::string Out = P.Name.empty() ? "" : (P.Name + "\n");
+  std::string Init;
+  for (unsigned L = 0; L < P.LocNames.size(); ++L)
+    Init += fmt("%s=%d, ", P.LocNames[L].c_str(),
+                P.initialValue(static_cast<LocId>(L)));
+  if (!Init.empty()) {
+    Init.pop_back();
+    Init.pop_back();
+    Out += "Initially: " + Init + "\n";
+  }
+  return Out;
+}
+
+std::string footer(const Program &P) {
+  std::string Test;
+  for (const RegAssertion &A : P.RegPost)
+    Test += fmt("%u:r%u=%d /\\ ", A.Thread, A.LoadIndex, A.Value);
+  for (const MemAssertion &A : P.MemPost)
+    Test += fmt("%s=%d /\\ ", locName(P, A.Loc).c_str(), A.Value);
+  if (!Test.empty())
+    Test.resize(Test.size() - 4);
+  return "Test: " + Test + "\n";
+}
+
+/// Render the body as per-thread columns of lines, one rendering function
+/// per instruction.
+template <typename RenderFn>
+std::string renderThreads(const Program &P, RenderFn &&Render) {
+  std::string Out;
+  for (unsigned T = 0; T < P.Threads.size(); ++T) {
+    Out += fmt("--- thread %u ---\n", T);
+    for (unsigned I = 0; I < P.Threads[T].size(); ++I)
+      Out += "  " + Render(P, T, P.Threads[T][I], I) + "\n";
+  }
+  return Out;
+}
+
+std::string genericInstr(const Program &P, unsigned T, const Instruction &I,
+                         unsigned Idx) {
+  (void)T;
+  switch (I.K) {
+  case Instruction::Kind::Load: {
+    std::string S = fmt("r%u <- [%s]", Idx, locName(P, I.Loc).c_str());
+    if (I.Exclusive)
+      S += " (exclusive)";
+    if (I.MO != MemOrder::NonAtomic)
+      S += fmt(" (%s)", memOrderName(I.MO));
+    return S + depSuffix(I);
+  }
+  case Instruction::Kind::Store: {
+    std::string S =
+        fmt("[%s] <- %d", locName(P, I.Loc).c_str(), I.Value);
+    if (I.Exclusive)
+      S += " (exclusive)";
+    if (I.MO != MemOrder::NonAtomic)
+      S += fmt(" (%s)", memOrderName(I.MO));
+    return S + depSuffix(I);
+  }
+  case Instruction::Kind::Fence:
+    return fmt("fence.%s", fenceKindName(I.FK)) + depSuffix(I);
+  case Instruction::Kind::TxBegin:
+    return fmt("txbegin Lfail   ; abort handler: [ok] <- 0%s",
+               I.TxnAtomic ? " (atomic)" : "");
+  case Instruction::Kind::TxEnd:
+    return "txend";
+  case Instruction::Kind::Lock:
+    return "lock()";
+  case Instruction::Kind::Unlock:
+    return "unlock()";
+  case Instruction::Kind::TxLock:
+    return "lock()   ; elided";
+  case Instruction::Kind::TxUnlock:
+    return "unlock() ; elided";
+  }
+  return "?";
+}
+
+std::string x86Instr(const Program &P, unsigned T, const Instruction &I,
+                     unsigned Idx) {
+  (void)T;
+  std::string Loc = locName(P, I.Loc);
+  switch (I.K) {
+  case Instruction::Kind::Load:
+    if (I.Exclusive && I.RmwPartner >= 0)
+      return fmt("LOCK XADDL r%u, [%s]    ; rmw read half", Idx,
+                 Loc.c_str());
+    return fmt("MOVL r%u, [%s]", Idx, Loc.c_str());
+  case Instruction::Kind::Store:
+    if (I.Exclusive && I.RmwPartner >= 0)
+      return fmt("; rmw write half: [%s] <- %d", Loc.c_str(), I.Value);
+    return fmt("MOVL [%s], $%d", Loc.c_str(), I.Value);
+  case Instruction::Kind::Fence:
+    return "MFENCE";
+  case Instruction::Kind::TxBegin:
+    return "XBEGIN Lfail";
+  case Instruction::Kind::TxEnd:
+    return "XEND";
+  case Instruction::Kind::Lock:
+    return "call lock      ; spinlock acquire";
+  case Instruction::Kind::Unlock:
+    return "call unlock    ; spinlock release";
+  case Instruction::Kind::TxLock:
+    return "call lock      ; elided";
+  case Instruction::Kind::TxUnlock:
+    return "call unlock    ; elided";
+  }
+  return "?";
+}
+
+std::string powerInstr(const Program &P, unsigned T, const Instruction &I,
+                       unsigned Idx) {
+  (void)T;
+  std::string Loc = locName(P, I.Loc);
+  std::string Pre;
+  // Dependency idioms: xor the source register with itself.
+  for (unsigned D : I.AddrDeps)
+    Pre += fmt("xor r8,r%u,r%u ; ", D, D);
+  for (unsigned D : I.DataDeps)
+    Pre += fmt("xor r8,r%u,r%u ; ", D, D);
+  for (unsigned D : I.CtrlDeps)
+    Pre += fmt("cmpw r%u,r%u ; beq L%u ; L%u: ", D, D, Idx, Idx);
+  switch (I.K) {
+  case Instruction::Kind::Load:
+    return Pre + (I.Exclusive ? fmt("lwarx r%u,0,%s", Idx, Loc.c_str())
+                              : fmt("lwz r%u,0(%s)", Idx, Loc.c_str()));
+  case Instruction::Kind::Store:
+    if (I.Exclusive)
+      return Pre + fmt("li r9,%d ; stwcx. r9,0,%s ; bne Lfail", I.Value,
+                       Loc.c_str());
+    return Pre + fmt("li r9,%d ; stw r9,0(%s)", I.Value, Loc.c_str());
+  case Instruction::Kind::Fence:
+    return fmt("%s", fenceKindName(I.FK));
+  case Instruction::Kind::TxBegin:
+    return "tbegin. ; beq Lfail";
+  case Instruction::Kind::TxEnd:
+    return "tend.";
+  case Instruction::Kind::Lock:
+    return "bl lock        # lwarx/stwcx. loop ; isync";
+  case Instruction::Kind::Unlock:
+    return "bl unlock      # sync ; stw";
+  case Instruction::Kind::TxLock:
+    return "bl lock        # elided";
+  case Instruction::Kind::TxUnlock:
+    return "bl unlock      # elided";
+  }
+  return "?";
+}
+
+std::string armInstr(const Program &P, unsigned T, const Instruction &I,
+                     unsigned Idx) {
+  (void)T;
+  std::string Loc = locName(P, I.Loc);
+  std::string Pre;
+  for (unsigned D : I.AddrDeps)
+    Pre += fmt("EOR W8,W%u,W%u ; ", D, D);
+  for (unsigned D : I.DataDeps)
+    Pre += fmt("EOR W8,W%u,W%u ; ", D, D);
+  for (unsigned D : I.CtrlDeps)
+    Pre += fmt("CBNZ W%u,L%u ; L%u: ", D, Idx, Idx);
+  switch (I.K) {
+  case Instruction::Kind::Load: {
+    const char *Op = I.Exclusive
+                         ? (I.MO == MemOrder::Acquire ? "LDAXR" : "LDXR")
+                         : (isAcquireOrder(I.MO) ? "LDAR" : "LDR");
+    return Pre + fmt("%s W%u,[%s]", Op, Idx, Loc.c_str());
+  }
+  case Instruction::Kind::Store: {
+    if (I.Exclusive)
+      return Pre + fmt("MOV W9,#%d ; STXR W10,W9,[%s]", I.Value,
+                       Loc.c_str());
+    const char *Op = isReleaseOrder(I.MO) ? "STLR" : "STR";
+    return Pre + fmt("MOV W9,#%d ; %s W9,[%s]", I.Value, Op, Loc.c_str());
+  }
+  case Instruction::Kind::Fence:
+    switch (I.FK) {
+    case FenceKind::Dmb:
+      return "DMB SY";
+    case FenceKind::DmbLd:
+      return "DMB LD";
+    case FenceKind::DmbSt:
+      return "DMB ST";
+    case FenceKind::Isb:
+      return "ISB";
+    default:
+      return "DMB SY";
+    }
+  case Instruction::Kind::TxBegin:
+    return "TXBEGIN Lfail      ; unofficial TM extension";
+  case Instruction::Kind::TxEnd:
+    return "TXEND";
+  case Instruction::Kind::Lock:
+    return "BL lock        // LDAXR/CBNZ/STXR loop (K9.3)";
+  case Instruction::Kind::Unlock:
+    return "BL unlock      // STLR WZR";
+  case Instruction::Kind::TxLock:
+    return "BL lock        // elided";
+  case Instruction::Kind::TxUnlock:
+    return "BL unlock      // elided";
+  }
+  return "?";
+}
+
+const char *cppOrder(MemOrder MO) {
+  switch (MO) {
+  case MemOrder::Relaxed:
+    return "memory_order_relaxed";
+  case MemOrder::Acquire:
+    return "memory_order_acquire";
+  case MemOrder::Release:
+    return "memory_order_release";
+  case MemOrder::AcqRel:
+    return "memory_order_acq_rel";
+  case MemOrder::SeqCst:
+    return "memory_order_seq_cst";
+  case MemOrder::NonAtomic:
+    return "";
+  }
+  return "";
+}
+
+std::string cppInstr(const Program &P, unsigned T, const Instruction &I,
+                     unsigned Idx) {
+  (void)T;
+  std::string Loc = locName(P, I.Loc);
+  switch (I.K) {
+  case Instruction::Kind::Load:
+    if (I.MO == MemOrder::NonAtomic)
+      return fmt("int r%u = %s;", Idx, Loc.c_str());
+    return fmt("int r%u = %s.load(%s);", Idx, Loc.c_str(), cppOrder(I.MO));
+  case Instruction::Kind::Store:
+    if (I.MO == MemOrder::NonAtomic)
+      return fmt("%s = %d;", Loc.c_str(), I.Value);
+    return fmt("%s.store(%d, %s);", Loc.c_str(), I.Value, cppOrder(I.MO));
+  case Instruction::Kind::Fence:
+    return fmt("atomic_thread_fence(%s);", cppOrder(I.MO));
+  case Instruction::Kind::TxBegin:
+    return I.TxnAtomic ? "atomic {" : "synchronized {";
+  case Instruction::Kind::TxEnd:
+    return "}";
+  case Instruction::Kind::Lock:
+    return "m.lock();";
+  case Instruction::Kind::Unlock:
+    return "m.unlock();";
+  case Instruction::Kind::TxLock:
+    return "m.lock();   // elided";
+  case Instruction::Kind::TxUnlock:
+    return "m.unlock(); // elided";
+  }
+  return "?";
+}
+
+} // namespace
+
+std::string tmw::printGeneric(const Program &P) {
+  return header(P) + renderThreads(P, genericInstr) + footer(P);
+}
+
+std::string tmw::printAsm(const Program &P, Arch A) {
+  switch (A) {
+  case Arch::X86:
+    return header(P) + renderThreads(P, x86Instr) + footer(P);
+  case Arch::Power:
+    return header(P) + renderThreads(P, powerInstr) + footer(P);
+  case Arch::Armv8:
+    return header(P) + renderThreads(P, armInstr) + footer(P);
+  case Arch::Cpp:
+    return printCpp(P);
+  case Arch::SC:
+  case Arch::TSC:
+    return printGeneric(P);
+  }
+  return printGeneric(P);
+}
+
+std::string tmw::printCpp(const Program &P) {
+  return header(P) + renderThreads(P, cppInstr) + footer(P);
+}
+
+std::string tmw::printDsl(const Program &P) {
+  std::string Out = "name " + (P.Name.empty() ? "test" : P.Name) + "\n";
+  for (unsigned L = 0; L < P.LocNames.size(); ++L)
+    Out += fmt("loc %s %d\n", P.LocNames[L].c_str(),
+               P.initialValue(static_cast<LocId>(L)));
+  for (unsigned T = 0; T < P.Threads.size(); ++T) {
+    Out += fmt("thread %u\n", T);
+    for (unsigned Idx = 0; Idx < P.Threads[T].size(); ++Idx) {
+      const Instruction &I = P.Threads[T][Idx];
+      std::string Line;
+      switch (I.K) {
+      case Instruction::Kind::Load:
+        Line = fmt("load %s %s", locName(P, I.Loc).c_str(),
+                   memOrderName(I.MO));
+        break;
+      case Instruction::Kind::Store:
+        Line = fmt("store %s %d %s", locName(P, I.Loc).c_str(), I.Value,
+                   memOrderName(I.MO));
+        break;
+      case Instruction::Kind::Fence:
+        Line = fmt("fence %s", fenceKindName(I.FK));
+        break;
+      case Instruction::Kind::TxBegin:
+        Line = I.TxnAtomic ? "txbegin atomic" : "txbegin";
+        break;
+      case Instruction::Kind::TxEnd:
+        Line = "txend";
+        break;
+      case Instruction::Kind::Lock:
+        Line = "lock";
+        break;
+      case Instruction::Kind::Unlock:
+        Line = "unlock";
+        break;
+      case Instruction::Kind::TxLock:
+        Line = "txlock";
+        break;
+      case Instruction::Kind::TxUnlock:
+        Line = "txunlock";
+        break;
+      }
+      if (I.Exclusive)
+        Line += " excl";
+      for (unsigned D : I.AddrDeps)
+        Line += fmt(" addr:r%u", D);
+      for (unsigned D : I.DataDeps)
+        Line += fmt(" data:r%u", D);
+      for (unsigned D : I.CtrlDeps)
+        Line += fmt(" ctrl:r%u", D);
+      if (I.RmwPartner >= 0)
+        Line += fmt(" rmw:%d", I.RmwPartner);
+      Out += "  " + Line + "\n";
+    }
+  }
+  for (const RegAssertion &A : P.RegPost)
+    Out += fmt("post reg %u r%u %d\n", A.Thread, A.LoadIndex, A.Value);
+  for (const MemAssertion &A : P.MemPost)
+    Out += fmt("post mem %s %d\n", locName(P, A.Loc).c_str(), A.Value);
+  return Out;
+}

@@ -1,0 +1,39 @@
+//===- Printer.h - Rendering litmus tests -----------------------*- C++ -*-==//
+///
+/// \file
+/// Renders litmus tests in the paper's pseudo-code style (Figs. 1, 2) and
+/// as per-architecture assembly-flavoured listings. The tooling
+/// "specialises txbegin/txend for each target architecture" (§3.2): XBEGIN
+/// / XEND on x86, tbegin. / tend. on Power, and the paper's unofficial
+/// TXBEGIN / TXEND mnemonics on ARMv8. Dependencies are rendered with the
+/// standard `eor`/`xor` tricks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_LITMUS_PRINTER_H
+#define TMW_LITMUS_PRINTER_H
+
+#include "litmus/Program.h"
+#include "models/MemoryModel.h"
+
+#include <string>
+
+namespace tmw {
+
+/// Paper-style pseudo-code (Fig. 1/2): `a: r0 <- [x]`, `Initially:`,
+/// `Test:` lines, transactions as txbegin/txend.
+std::string printGeneric(const Program &P);
+
+/// Assembly-flavoured listing for \p A (x86, Power, or ARMv8).
+std::string printAsm(const Program &P, Arch A);
+
+/// C++ source rendering: atomics with explicit memory orders, `atomic{}` /
+/// `synchronized{}` transaction blocks.
+std::string printCpp(const Program &P);
+
+/// Serialise in the round-trippable DSL accepted by `parseProgram`.
+std::string printDsl(const Program &P);
+
+} // namespace tmw
+
+#endif // TMW_LITMUS_PRINTER_H

@@ -1,0 +1,56 @@
+//===- Compilation.h - C++ transactions to hardware (§8.2) ------*- C++ -*-==//
+///
+/// \file
+/// The direct compilation mapping from C++ executions to x86, Power, and
+/// ARMv8 executions (the standard non-transactional mappings of Wickerson
+/// et al., extended to preserve stxn-edges), and the bounded soundness
+/// check: search for a race-free C++ execution that is *inconsistent* in
+/// C++ while its compilation is *consistent* on the target — such a pair
+/// witnesses a miscompilation.
+///
+/// Event mappings:
+///
+///   C++ event      x86             Power                    ARMv8
+///   -------------  --------------  -----------------------  -----------
+///   load na/rlx    mov             ld                       LDR
+///   load acq       mov             ld;ctrl;isync            LDAR
+///   load sc        mov             sync;ld;ctrl;isync       LDAR
+///   store na/rlx   mov             st                       STR
+///   store rel      mov             lwsync;st                STLR
+///   store sc       mov;mfence      sync;st                  STLR
+///   fence acq/rel  (nothing)       lwsync                   dmb
+///   fence sc       mfence          sync                     dmb
+///   transaction    XBEGIN/XEND     tbegin./tend.            TXBEGIN/TXEND
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_METATHEORY_COMPILATION_H
+#define TMW_METATHEORY_COMPILATION_H
+
+#include "enumerate/Enumerator.h"
+
+namespace tmw {
+
+/// Compile the C++ execution \p X to \p Target, preserving po, rf, co,
+/// rmw, and stxn-edges and inserting the fences of the standard mapping.
+Execution compileExecution(const Execution &X, Arch Target);
+
+/// Result of a bounded compilation-soundness check.
+struct CompilationResult {
+  bool CounterexampleFound = false;
+  /// Source (C++) and compiled executions, valid when found.
+  Execution Source, Compiled;
+  uint64_t Checked = 0;
+  double Seconds = 0;
+  bool Complete = true;
+};
+
+/// Search C++ executions up to \p NumEvents source events for one that is
+/// race-free and inconsistent but compiles to a consistent \p Target
+/// execution.
+CompilationResult checkCompilation(Arch Target, unsigned NumEvents,
+                                   double BudgetSeconds = 1e18);
+
+} // namespace tmw
+
+#endif // TMW_METATHEORY_COMPILATION_H

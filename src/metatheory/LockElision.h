@@ -1,0 +1,72 @@
+//===- LockElision.h - Checking lock elision (§8.3) -------------*- C++ -*-==//
+///
+/// \file
+/// Validates lock elision against the hardware TM models by treating the
+/// library implementation as a program transformation (§4.3, §8.3):
+///
+///  * *abstract* executions contain L/U (really-locked) and Lt/Ut (elided)
+///    method-call events delimiting critical regions; the specification
+///    extends the architecture model with CROrder — critical regions are
+///    serialisable;
+///  * the *concrete* execution replaces each lock method with its
+///    implementation per Table 3 (the architecture's recommended spinlock;
+///    elided CRs become transactions whose first event reads the lock
+///    variable) and completes rf/co over the fresh lock variable subject
+///    to LockVar, TxnIntro, and TxnReadsLockFree;
+///  * lock elision is *unsound* when some spec-forbidden abstract
+///    execution (CROrder violated, architecture axioms satisfied) maps to
+///    a consistent concrete execution.
+///
+/// On ARMv8 this search rediscovers the paper's Example 1.1 / Fig. 10
+/// counterexample; appending a DMB to lock() (the "fixed" spinlock)
+/// removes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_METATHEORY_LOCKELISION_H
+#define TMW_METATHEORY_LOCKELISION_H
+
+#include "models/MemoryModel.h"
+
+#include <vector>
+
+namespace tmw {
+
+/// CROrder (§8.3): acyclic(weaklift(po u com, scr)).
+bool holdsCrOrder(const Execution &X);
+
+/// Replace the lock method calls of \p Abstract with their implementation
+/// for \p A (Table 3). The lock variable's rf/co are left empty — use
+/// `lockVarCompletions` to enumerate them. \p FixedSpinlock appends a DMB
+/// to the ARMv8 lock() implementation (§1.1's proposed fix).
+Execution elideLocks(const Execution &Abstract, Arch A, bool FixedSpinlock);
+
+/// All completions of the lock variable's rf/co in \p Concrete that
+/// satisfy the spinlock protocol: acquiring reads and elided-region reads
+/// observe the lock free (the initial value or an unlock write, never a
+/// lock write — TxnReadsLockFree).
+std::vector<Execution> lockVarCompletions(const Execution &Concrete);
+
+/// Result of a bounded lock-elision check.
+struct ElisionResult {
+  bool CounterexampleFound = false;
+  /// Spec-forbidden abstract execution and its consistent concrete image.
+  Execution Abstract, Concrete;
+  uint64_t AbstractChecked = 0;
+  uint64_t ConcreteChecked = 0;
+  double Seconds = 0;
+  bool Complete = true;
+};
+
+/// Search abstract executions (up to \p MaxEvents events, two threads,
+/// one critical region each over one shared location) for a witness that
+/// lock elision is unsound on \p A under \p TmModel. \p SpecModel is the
+/// architecture baseline used for the spec-side axioms.
+ElisionResult checkLockElision(const MemoryModel &TmModel,
+                               const MemoryModel &SpecModel, Arch A,
+                               bool FixedSpinlock, unsigned MaxEvents,
+                               double BudgetSeconds = 1e18);
+
+} // namespace tmw
+
+#endif // TMW_METATHEORY_LOCKELISION_H

@@ -1,0 +1,26 @@
+//===- Minimize.cpp - Shrinking counterexamples ---------------------------------==//
+
+#include "metatheory/Minimize.h"
+
+using namespace tmw;
+
+Execution tmw::minimizeInconsistent(
+    const Execution &X, const MemoryModel &M, const Vocabulary &V,
+    const std::function<bool(const Execution &)> &Invariant) {
+  assert(!M.consistent(X) && "nothing to minimise");
+  Execution Cur = X;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (const Execution &Child : relaxOneStep(Cur, V)) {
+      if (M.consistent(Child))
+        continue;
+      if (Invariant && !Invariant(Child))
+        continue;
+      Cur = Child;
+      Progress = true;
+      break;
+    }
+  }
+  return Cur;
+}

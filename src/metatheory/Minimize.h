@@ -1,0 +1,40 @@
+//===- Minimize.h - Shrinking counterexamples -------------------*- C++ -*-==//
+///
+/// \file
+/// Shrinks an inconsistent execution to a ⊏-minimal one (§4.2) by
+/// repeatedly taking any one-step relaxation that is still inconsistent.
+/// This is how a raw counterexample from the metatheory searches becomes
+/// a presentable litmus test: the result is a member of the model's
+/// minimally-forbidden set.
+///
+/// An optional invariant restricts the shrinking (e.g. "stays consistent
+/// under the buggy RTL" when minimising an implementation-bug witness).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_METATHEORY_MINIMIZE_H
+#define TMW_METATHEORY_MINIMIZE_H
+
+#include "enumerate/Relaxation.h"
+
+#include <functional>
+
+namespace tmw {
+
+/// Shrink the inconsistent \p X to a minimally inconsistent execution
+/// under \p M, preserving \p Invariant (when given) along the way.
+/// Requires `!M.consistent(X)` and `Invariant(X)` on entry.
+///
+/// \returns a ⊏-descendant of \p X (possibly \p X itself) that is
+/// inconsistent and whose invariant-preserving relaxations are all
+/// consistent; when no invariant is given the result is minimally
+/// inconsistent in the §4.2 sense.
+Execution
+minimizeInconsistent(const Execution &X, const MemoryModel &M,
+                     const Vocabulary &V,
+                     const std::function<bool(const Execution &)> &Invariant
+                     = nullptr);
+
+} // namespace tmw
+
+#endif // TMW_METATHEORY_MINIMIZE_H

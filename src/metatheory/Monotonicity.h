@@ -1,0 +1,52 @@
+//===- Monotonicity.h - Transactional monotonicity (§8.1) -------*- C++ -*-==//
+///
+/// \file
+/// Checks that adding stxn-edges never makes an inconsistent execution
+/// consistent — which implies that introducing, enlarging, and coalescing
+/// transactions are sound program transformations. A counterexample is a
+/// pair (X, Y) over the same events and relations where Y has strictly
+/// more stxn-edges, X is inconsistent, and Y is consistent.
+///
+/// Because consistency flips somewhere along any chain in the stxn
+/// lattice, searching *adjacent* pairs (one augmentation step: grow a
+/// transaction by one boundary event, merge two adjacent transactions, or
+/// wrap one event in a new singleton transaction) is complete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_METATHEORY_MONOTONICITY_H
+#define TMW_METATHEORY_MONOTONICITY_H
+
+#include "enumerate/Enumerator.h"
+
+#include <vector>
+
+namespace tmw {
+
+/// Result of a bounded monotonicity check.
+struct MonotonicityResult {
+  bool CounterexampleFound = false;
+  /// The inconsistent execution (fewer stxn edges) and its consistent
+  /// augmentation; valid when a counterexample was found.
+  Execution X, Y;
+  uint64_t PairsChecked = 0;
+  double Seconds = 0;
+  /// False when the time budget stopped the search early.
+  bool Complete = true;
+};
+
+/// All one-step stxn augmentations of \p X (grow / merge / new singleton).
+/// For C++ vocabularies, atomic{} transactions never grow over atomic
+/// operations, and new singletons are offered in both flavours.
+std::vector<Execution> txnAugmentations(const Execution &X,
+                                        const Vocabulary &V);
+
+/// Search executions up to \p NumEvents events for a monotonicity
+/// counterexample under \p M.
+MonotonicityResult checkMonotonicity(const MemoryModel &M,
+                                     const Vocabulary &V, unsigned NumEvents,
+                                     double BudgetSeconds = 1e18);
+
+} // namespace tmw
+
+#endif // TMW_METATHEORY_MONOTONICITY_H

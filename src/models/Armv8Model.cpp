@@ -1,0 +1,83 @@
+//===- Armv8Model.cpp - ARMv8 with proposed transactions ---------------------==//
+
+#include "models/Armv8Model.h"
+
+using namespace tmw;
+
+const char *Armv8Model::name() const {
+  return (Cfg.Tfence || Cfg.StrongIsol || Cfg.TxnOrder || Cfg.TxnCancelsRmw)
+             ? "ARMv8+TM"
+             : "ARMv8";
+}
+
+Relation Armv8Model::orderedBefore(const Execution &X) const {
+  unsigned N = X.size();
+  EventSet R = X.reads(), W = X.writes();
+  // A: acquire reads (LDAR/LDAXR); L: release writes (STLR).
+  EventSet A = X.acquires() & R;
+  EventSet L = X.releases() & W;
+  Relation IdA = Relation::identityOn(A, N);
+  Relation IdL = Relation::identityOn(L, N);
+  Relation IdR = Relation::identityOn(R, N);
+  Relation IdW = Relation::identityOn(W, N);
+
+  // Observed-by: external communication.
+  Relation Obs = X.external(X.com());
+
+  // Dependency-ordered-before.
+  Relation IsbId = Relation::identityOn(X.fences(FenceKind::Isb), N);
+  Relation IsbBefore =
+      (X.Ctrl | X.Addr.compose(X.Po)).compose(IsbId).compose(X.Po).compose(
+          IdR);
+  Relation Dob = X.Addr | X.Data;
+  Dob |= X.Ctrl.compose(IdW);
+  Dob |= IsbBefore;
+  Dob |= X.Addr.compose(X.Po).compose(IdW);
+  Dob |= (X.Ctrl | X.Data).compose(X.coi());
+  Dob |= (X.Addr | X.Data).compose(X.rfi());
+
+  // Atomic-ordered-before.
+  Relation Aob = X.Rmw;
+  Aob |= Relation::identityOn(X.Rmw.range(), N).compose(X.rfi()).compose(IdA);
+
+  // Barrier-ordered-before.
+  Relation DmbId = Relation::identityOn(X.fences(FenceKind::Dmb), N);
+  Relation DmbLdId = Relation::identityOn(X.fences(FenceKind::DmbLd), N);
+  Relation DmbStId = Relation::identityOn(X.fences(FenceKind::DmbSt), N);
+  Relation Bob = X.Po.compose(DmbId).compose(X.Po);
+  Bob |= IdL.compose(X.Po).compose(IdA);
+  Bob |= IdR.compose(X.Po).compose(DmbLdId).compose(X.Po);
+  Bob |= IdA.compose(X.Po);
+  Bob |= IdW.compose(X.Po).compose(DmbStId).compose(X.Po).compose(IdW);
+  Bob |= X.Po.compose(IdL);
+  Bob |= X.Po.compose(IdL).compose(X.coi());
+
+  Relation Ob = Obs | Dob | Aob | Bob;
+  if (Cfg.Tfence)
+    Ob |= X.tfence();
+  return Ob;
+}
+
+ConsistencyResult Armv8Model::check(const Execution &X) const {
+  Relation Com = X.com();
+  if (!(X.poLoc() | Com).isAcyclic())
+    return ConsistencyResult::fail("Coherence");
+
+  Relation Ob = orderedBefore(X);
+  if (!Ob.isAcyclic())
+    return ConsistencyResult::fail("Order");
+
+  if (!(X.Rmw & X.fre().compose(X.coe())).isEmpty())
+    return ConsistencyResult::fail("RMWIsol");
+
+  Relation Stxn = X.stxn();
+  if (Cfg.StrongIsol && !strongLift(Com, Stxn).isAcyclic())
+    return ConsistencyResult::fail("StrongIsol");
+  if (Cfg.TxnOrder && !strongLift(Ob, Stxn).isAcyclic())
+    return ConsistencyResult::fail("TxnOrder");
+  if (Cfg.TxnCancelsRmw &&
+      !(X.Rmw & X.tfence().transitiveClosure()).isEmpty())
+    return ConsistencyResult::fail("TxnCancelsRMW");
+
+  return ConsistencyResult::ok();
+}

@@ -1,0 +1,51 @@
+//===- Armv8Model.h - ARMv8 with proposed transactions ----------*- C++ -*-==//
+///
+/// \file
+/// The ARMv8 memory model of Fig. 8: the official multicopy-atomic
+/// axiomatic model (Deacon's aarch64.cat as simplified by Pulte et al.,
+/// POPL 2018) with the paper's unofficial TM extension — implicit
+/// transaction fences, strong isolation, TxnOrder over the ordered-before
+/// relation, and TxnCancelsRMW for exclusives straddling a transaction
+/// boundary.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_MODELS_ARMV8MODEL_H
+#define TMW_MODELS_ARMV8MODEL_H
+
+#include "models/MemoryModel.h"
+
+namespace tmw {
+
+/// ARMv8 (Fig. 8). Default configuration enables all TM axioms.
+class Armv8Model : public MemoryModel {
+public:
+  struct Config {
+    bool Tfence = true;
+    bool StrongIsol = true;
+    bool TxnOrder = true;
+    /// Exclusives fail across a transactional/non-transactional change.
+    bool TxnCancelsRmw = true;
+
+    static Config baseline() { return {false, false, false, false}; }
+  };
+
+  Armv8Model() = default;
+  explicit Armv8Model(Config C) : Cfg(C) {}
+
+  const char *name() const override;
+  Arch arch() const override { return Arch::Armv8; }
+  ConsistencyResult check(const Execution &X) const override;
+
+  /// The ordered-before relation (ob) of Fig. 8 under this configuration.
+  Relation orderedBefore(const Execution &X) const;
+
+  const Config &config() const { return Cfg; }
+
+private:
+  Config Cfg;
+};
+
+} // namespace tmw
+
+#endif // TMW_MODELS_ARMV8MODEL_H

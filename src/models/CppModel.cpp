@@ -1,0 +1,103 @@
+//===- CppModel.cpp - C++ (RC11) with transactions ---------------------------==//
+
+#include "models/CppModel.h"
+
+using namespace tmw;
+
+const char *CppModel::name() const { return Cfg.Tsw ? "C+++TM" : "C++"; }
+
+Relation CppModel::synchronisesWith(const Execution &X) const {
+  unsigned N = X.size();
+  EventSet W = X.writes(), R = X.reads(), F = X.fences();
+  EventSet Ato = X.atomics();
+
+  // Release sequence: rs = [W] ; poloc? ; [W n Ato] ; (rf ; rmw)*.
+  Relation Rs = Relation::identityOn(W, N)
+                    .compose(X.poLoc().optional())
+                    .compose(Relation::identityOn(W & Ato, N))
+                    .compose(X.Rf.compose(X.Rmw).reflexiveTransitiveClosure());
+
+  // sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R n Ato] ; (po ; [F])? ; [Acq].
+  Relation IdF = Relation::identityOn(F, N);
+  Relation RelSide = Relation::identityOn(X.releases(), N)
+                         .compose(IdF.compose(X.Po).optional());
+  Relation AcqSide = X.Po.compose(IdF).optional().compose(
+      Relation::identityOn(X.acquires(), N));
+  return RelSide.compose(Rs)
+      .compose(X.Rf)
+      .compose(Relation::identityOn(R & Ato, N))
+      .compose(AcqSide);
+}
+
+Relation CppModel::transactionalSw(const Execution &X) const {
+  return weakLift(X.ecom(), X.stxn());
+}
+
+Relation CppModel::happensBefore(const Execution &X) const {
+  Relation Sw = synchronisesWith(X);
+  if (Cfg.Tsw)
+    Sw |= transactionalSw(X);
+  return (Sw | X.Po).transitiveClosure();
+}
+
+Relation CppModel::psc(const Execution &X) const {
+  unsigned N = X.size();
+  Relation Hb = happensBefore(X);
+  Relation HbOpt = Hb.optional();
+  Relation Eco = X.com().transitiveClosure();
+  Relation Sloc = X.sloc();
+
+  EventSet Sc = X.seqCst();
+  EventSet Fsc = Sc & X.fences();
+  Relation IdSc = Relation::identityOn(Sc, N);
+  Relation IdFsc = Relation::identityOn(Fsc, N);
+
+  // scb = po u (po \ sloc ; hb ; po \ sloc) u (hb n sloc) u co u fr.
+  Relation PoNonLoc = X.Po - Sloc;
+  Relation Scb = X.Po | PoNonLoc.compose(Hb).compose(PoNonLoc) |
+                 (Hb & Sloc) | X.Co | X.fr();
+
+  Relation Left = IdSc | IdFsc.compose(HbOpt);
+  Relation Right = IdSc | HbOpt.compose(IdFsc);
+  Relation PscBase = Left.compose(Scb).compose(Right);
+  Relation PscF =
+      IdFsc.compose(Hb | Hb.compose(Eco).compose(Hb)).compose(IdFsc);
+  return PscBase | PscF;
+}
+
+Relation CppModel::conflicts(const Execution &X) const {
+  unsigned N = X.size();
+  EventSet W = X.writes(), R = X.reads();
+  Relation Cnf = (Relation::cross(W, W, N) | Relation::cross(R, W, N) |
+                  Relation::cross(W, R, N)) &
+                 X.sloc();
+  return Cnf - Relation::identityOn(X.universe(), N);
+}
+
+bool CppModel::raceFree(const Execution &X) const {
+  unsigned N = X.size();
+  EventSet Ato = X.atomics();
+  Relation Hb = happensBefore(X);
+  Relation Races = conflicts(X) - Relation::cross(Ato, Ato, N) -
+                   (Hb | Hb.inverse());
+  return Races.isEmpty();
+}
+
+ConsistencyResult CppModel::check(const Execution &X) const {
+  Relation Hb = happensBefore(X);
+  Relation Com = X.com();
+
+  if (!Hb.compose(Com.reflexiveTransitiveClosure()).isIrreflexive())
+    return ConsistencyResult::fail("HbCom");
+
+  if (!(X.Rmw & X.fre().compose(X.coe())).isEmpty())
+    return ConsistencyResult::fail("RMWIsol");
+
+  if (!(X.Po | X.Rf).isAcyclic())
+    return ConsistencyResult::fail("NoThinAir");
+
+  if (!psc(X).isAcyclic())
+    return ConsistencyResult::fail("SeqCst");
+
+  return ConsistencyResult::ok();
+}

@@ -1,0 +1,61 @@
+//===- CppModel.h - C++ (RC11) with transactions ----------------*- C++ -*-==//
+///
+/// \file
+/// The C++ memory model of Fig. 9, built on the RC11 formalisation (Lahav
+/// et al., PLDI 2017) so that compilation to Power can be checked. The
+/// paper's TM extension avoids the specification's total order over
+/// transactions: conflicting transactions synchronise in extended-
+/// communication order instead (tsw = weaklift(ecom, stxn), §7.2).
+///
+/// The model defines two predicates: consistency, and race-freedom
+/// (NoRace). A program with a racy consistent execution is undefined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_MODELS_CPPMODEL_H
+#define TMW_MODELS_CPPMODEL_H
+
+#include "models/MemoryModel.h"
+
+namespace tmw {
+
+/// C++ (Fig. 9). Default configuration enables the TM extension.
+class CppModel : public MemoryModel {
+public:
+  struct Config {
+    /// Transactional synchronisation: hb includes tsw.
+    bool Tsw = true;
+
+    static Config baseline() { return {false}; }
+  };
+
+  CppModel() = default;
+  explicit CppModel(Config C) : Cfg(C) {}
+
+  const char *name() const override;
+  Arch arch() const override { return Arch::Cpp; }
+  ConsistencyResult check(const Execution &X) const override;
+
+  /// Happens-before: (sw u tsw u po)+.
+  Relation happensBefore(const Execution &X) const;
+  /// Synchronises-with (RC11, including fences and release sequences).
+  Relation synchronisesWith(const Execution &X) const;
+  /// Transactional synchronisation (§7.2): weaklift(ecom, stxn).
+  Relation transactionalSw(const Execution &X) const;
+  /// Partial-SC relation psc (RC11) whose acyclicity is the SeqCst axiom.
+  Relation psc(const Execution &X) const;
+  /// Conflicting event pairs (cnf in Fig. 9).
+  Relation conflicts(const Execution &X) const;
+
+  /// NoRace: conflicting non-atomic-pair events must be hb-ordered.
+  bool raceFree(const Execution &X) const;
+
+  const Config &config() const { return Cfg; }
+
+private:
+  Config Cfg;
+};
+
+} // namespace tmw
+
+#endif // TMW_MODELS_CPPMODEL_H

@@ -1,0 +1,37 @@
+//===- MemoryModel.cpp - Axiomatic consistency predicates -------------------==//
+
+#include "models/MemoryModel.h"
+
+using namespace tmw;
+
+MemoryModel::~MemoryModel() = default;
+
+const char *tmw::archName(Arch A) {
+  switch (A) {
+  case Arch::SC:
+    return "SC";
+  case Arch::TSC:
+    return "TSC";
+  case Arch::X86:
+    return "x86";
+  case Arch::Power:
+    return "Power";
+  case Arch::Armv8:
+    return "ARMv8";
+  case Arch::Cpp:
+    return "C++";
+  }
+  return "?";
+}
+
+bool tmw::holdsWeakIsolation(const Execution &X) {
+  return weakLift(X.com(), X.stxn()).isAcyclic();
+}
+
+bool tmw::holdsStrongIsolation(const Execution &X) {
+  return strongLift(X.com(), X.stxn()).isAcyclic();
+}
+
+bool tmw::holdsStrongIsolationAtomic(const Execution &X) {
+  return strongLift(X.com(), X.stxnAtomic()).isAcyclic();
+}

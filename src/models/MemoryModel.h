@@ -1,0 +1,59 @@
+//===- MemoryModel.h - Axiomatic consistency predicates ---------*- C++ -*-==//
+///
+/// \file
+/// The `MemoryModel` interface: a consistency predicate over executions
+/// with named-axiom diagnostics. Concrete models implement the axioms from
+/// the paper's Fig. 4 (SC/TSC), Fig. 5 (x86), Fig. 6 (Power), Fig. 8
+/// (ARMv8), and Fig. 9 (C++), each with per-axiom ablation toggles so the
+/// non-transactional baselines and the §9 comparisons are the same code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_MODELS_MEMORYMODEL_H
+#define TMW_MODELS_MEMORYMODEL_H
+
+#include "execution/Execution.h"
+
+namespace tmw {
+
+/// Outcome of a consistency check.
+struct ConsistencyResult {
+  bool Consistent;
+  /// Name of the first violated axiom, or nullptr when consistent.
+  const char *FailedAxiom;
+
+  static ConsistencyResult ok() { return {true, nullptr}; }
+  static ConsistencyResult fail(const char *Axiom) { return {false, Axiom}; }
+  explicit operator bool() const { return Consistent; }
+};
+
+/// Target architectures / languages.
+enum class Arch : uint8_t { SC, TSC, X86, Power, Armv8, Cpp };
+
+/// Human-readable architecture name.
+const char *archName(Arch A);
+
+/// An axiomatic memory model: a predicate selecting the consistent
+/// candidate executions.
+class MemoryModel {
+public:
+  virtual ~MemoryModel();
+
+  virtual const char *name() const = 0;
+  virtual Arch arch() const = 0;
+  /// Evaluate the consistency axioms on \p X.
+  virtual ConsistencyResult check(const Execution &X) const = 0;
+
+  bool consistent(const Execution &X) const { return check(X).Consistent; }
+};
+
+/// WeakIsol (§3.3): acyclic(weaklift(com, stxn)).
+bool holdsWeakIsolation(const Execution &X);
+/// StrongIsol (§3.3): acyclic(stronglift(com, stxn)).
+bool holdsStrongIsolation(const Execution &X);
+/// StrongIsol restricted to atomic transactions (Theorem 7.2's conclusion).
+bool holdsStrongIsolationAtomic(const Execution &X);
+
+} // namespace tmw
+
+#endif // TMW_MODELS_MEMORYMODEL_H

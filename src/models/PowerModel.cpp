@@ -1,0 +1,134 @@
+//===- PowerModel.cpp - Power with transactions ------------------------------==//
+
+#include "models/PowerModel.h"
+
+using namespace tmw;
+
+const char *PowerModel::name() const {
+  return (Cfg.Tfence || Cfg.StrongIsol || Cfg.TxnOrder || Cfg.TxnCancelsRmw ||
+          Cfg.TProp1 || Cfg.TProp2 || Cfg.Thb)
+             ? "Power+TM"
+             : "Power";
+}
+
+Relation PowerModel::preservedProgramOrder(const Execution &X) const {
+  unsigned N = X.size();
+  EventSet R = X.reads(), W = X.writes();
+
+  Relation Dd = X.Addr | X.Data;
+  Relation PoLoc = X.poLoc();
+  // Read-different-writes and detour shapes (same-location refinements).
+  Relation Rdw = PoLoc & X.fre().compose(X.rfe());
+  Relation Detour = PoLoc & X.coe().compose(X.rfe());
+  // ctrl+isync: control dependency with an isync before the target.
+  Relation CtrlIsync = X.Ctrl & X.fenceRel(FenceKind::ISync);
+
+  Relation Ii0 = Dd | X.rfi() | Rdw;
+  Relation Ci0 = CtrlIsync | Detour;
+  Relation Ic0(N);
+  Relation Cc0 = Dd | PoLoc | X.Ctrl | X.Addr.compose(X.Po);
+
+  // Least fixpoint of the mutually recursive ii/ci/ic/cc definitions.
+  Relation Ii = Ii0, Ci = Ci0, Ic = Ic0, Cc = Cc0;
+  for (;;) {
+    Relation NewIi = Ii0 | Ci | Ic.compose(Ci) | Ii.compose(Ii);
+    Relation NewCi = Ci0 | Ci.compose(Ii) | Cc.compose(Ci);
+    Relation NewIc = Ic0 | Ii | Cc | Ic.compose(Cc) | Ii.compose(Ic);
+    Relation NewCc = Cc0 | Ci | Ci.compose(Ic) | Cc.compose(Cc);
+    if (NewIi == Ii && NewCi == Ci && NewIc == Ic && NewCc == Cc)
+      break;
+    Ii = NewIi;
+    Ci = NewCi;
+    Ic = NewIc;
+    Cc = NewCc;
+  }
+
+  return (Ii & Relation::cross(R, R, N)) | (Ic & Relation::cross(R, W, N));
+}
+
+Relation PowerModel::happensBefore(const Execution &X) const {
+  unsigned N = X.size();
+  EventSet R = X.reads(), W = X.writes();
+
+  Relation Sync = X.fenceRel(FenceKind::Sync);
+  Relation LwSync =
+      X.fenceRel(FenceKind::LwSync) - Relation::cross(W, R, N);
+  Relation Fence = Sync | LwSync;
+  if (Cfg.Tfence)
+    Fence |= X.tfence();
+
+  Relation Ihb = preservedProgramOrder(X) | Fence;
+  Relation Rfe = X.rfe();
+  Relation Hb = Rfe.optional().compose(Ihb).compose(Rfe.optional());
+
+  if (Cfg.Thb) {
+    // thb = (rfe u ((fre u coe)* ; ihb))* ; (fre u coe)* ; rfe?
+    Relation FreCoe = (X.fre() | X.coe()).reflexiveTransitiveClosure();
+    Relation Chain =
+        (Rfe | FreCoe.compose(Ihb)).reflexiveTransitiveClosure();
+    Relation Thb = Chain.compose(FreCoe).compose(Rfe.optional());
+    Hb |= weakLift(Thb, X.stxn());
+  }
+  return Hb;
+}
+
+ConsistencyResult PowerModel::check(const Execution &X) const {
+  unsigned N = X.size();
+  Relation Com = X.com();
+  if (!(X.poLoc() | Com).isAcyclic())
+    return ConsistencyResult::fail("Coherence");
+
+  if (!(X.Rmw & X.fre().compose(X.coe())).isEmpty())
+    return ConsistencyResult::fail("RMWIsol");
+
+  EventSet W = X.writes(), Rd = X.reads();
+  Relation Sync = X.fenceRel(FenceKind::Sync);
+  Relation LwSync =
+      X.fenceRel(FenceKind::LwSync) - Relation::cross(W, Rd, N);
+  Relation Tfence = X.tfence();
+  Relation Fence = Sync | LwSync;
+  if (Cfg.Tfence)
+    Fence |= Tfence;
+
+  Relation Hb = happensBefore(X);
+  if (!Hb.isAcyclic())
+    return ConsistencyResult::fail("Order");
+
+  Relation HbStar = Hb.reflexiveTransitiveClosure();
+  Relation Rfe = X.rfe();
+  Relation Stxn = X.stxn();
+  Relation IdW = Relation::identityOn(W, N);
+
+  // prop: how fences constrain the order in which writes propagate.
+  Relation Efence = Rfe.optional().compose(Fence).compose(Rfe.optional());
+  Relation Prop1 = IdW.compose(Efence).compose(HbStar).compose(IdW);
+  Relation SyncLike = Sync;
+  if (Cfg.Tfence)
+    SyncLike |= Tfence;
+  Relation Prop2 = X.external(Com)
+                       .reflexiveTransitiveClosure()
+                       .compose(Efence.reflexiveTransitiveClosure())
+                       .compose(HbStar)
+                       .compose(SyncLike)
+                       .compose(HbStar);
+  Relation Prop = Prop1 | Prop2;
+  if (Cfg.TProp1)
+    Prop |= Rfe.compose(Stxn).compose(IdW);
+  if (Cfg.TProp2)
+    Prop |= Stxn.compose(Rfe);
+
+  if (!(X.Co | Prop).isAcyclic())
+    return ConsistencyResult::fail("Propagation");
+
+  if (!X.fre().compose(Prop).compose(HbStar).isIrreflexive())
+    return ConsistencyResult::fail("Observation");
+
+  if (Cfg.StrongIsol && !strongLift(Com, Stxn).isAcyclic())
+    return ConsistencyResult::fail("StrongIsol");
+  if (Cfg.TxnOrder && !strongLift(Hb, Stxn).isAcyclic())
+    return ConsistencyResult::fail("TxnOrder");
+  if (Cfg.TxnCancelsRmw && !(X.Rmw & Tfence.transitiveClosure()).isEmpty())
+    return ConsistencyResult::fail("TxnCancelsRMW");
+
+  return ConsistencyResult::ok();
+}

@@ -1,0 +1,65 @@
+//===- PowerModel.h - Power with transactions -------------------*- C++ -*-==//
+///
+/// \file
+/// The Power memory model of Fig. 6: the herding-cats Power model (Alglave
+/// et al., TOPLAS 2014) — including the ii/ic/ci/cc preserved-program-order
+/// fixpoint that the paper elides — with the paper's TM additions:
+///
+///  * tfence    — implicit barriers at transaction boundaries;
+///  * tprop1    — the transaction's integrated memory barrier (§5.2 (1));
+///  * tprop2    — multicopy-atomic propagation of transactional writes
+///                (§5.2 (2));
+///  * thb       — the transaction serialisation order (§5.2 (3));
+///  * StrongIsol, TxnOrder, and TxnCancelsRMW.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_MODELS_POWERMODEL_H
+#define TMW_MODELS_POWERMODEL_H
+
+#include "models/MemoryModel.h"
+
+namespace tmw {
+
+/// Power (Fig. 6). Default configuration enables all TM axioms.
+class PowerModel : public MemoryModel {
+public:
+  struct Config {
+    bool Tfence = true;
+    bool StrongIsol = true;
+    bool TxnOrder = true;
+    bool TxnCancelsRmw = true;
+    /// tprop1: write observed by a transaction propagates before the
+    /// transaction's own writes.
+    bool TProp1 = true;
+    /// tprop2: transactional writes are multicopy-atomic.
+    bool TProp2 = true;
+    /// thb: successful transactions serialise in a consistent order.
+    bool Thb = true;
+
+    static Config baseline() {
+      return {false, false, false, false, false, false, false};
+    }
+  };
+
+  PowerModel() = default;
+  explicit PowerModel(Config C) : Cfg(C) {}
+
+  const char *name() const override;
+  Arch arch() const override { return Arch::Power; }
+  ConsistencyResult check(const Execution &X) const override;
+
+  /// Preserved program order (the herding-cats ii/ic/ci/cc fixpoint).
+  Relation preservedProgramOrder(const Execution &X) const;
+  /// The happens-before relation of Fig. 6 under this configuration.
+  Relation happensBefore(const Execution &X) const;
+
+  const Config &config() const { return Cfg; }
+
+private:
+  Config Cfg;
+};
+
+} // namespace tmw
+
+#endif // TMW_MODELS_POWERMODEL_H

@@ -1,0 +1,21 @@
+//===- ScModel.cpp - SC and Transactional SC --------------------------------==//
+
+#include "models/ScModel.h"
+
+using namespace tmw;
+
+ConsistencyResult ScModel::check(const Execution &X) const {
+  Relation Hb = X.Po | X.com();
+  if (!Hb.isAcyclic())
+    return ConsistencyResult::fail("Order");
+  return ConsistencyResult::ok();
+}
+
+ConsistencyResult TscModel::check(const Execution &X) const {
+  Relation Hb = X.Po | X.com();
+  if (!Hb.isAcyclic())
+    return ConsistencyResult::fail("Order");
+  if (!strongLift(Hb, X.stxn()).isAcyclic())
+    return ConsistencyResult::fail("TxnOrder");
+  return ConsistencyResult::ok();
+}

@@ -1,0 +1,36 @@
+//===- ScModel.h - SC and Transactional SC ----------------------*- C++ -*-==//
+///
+/// \file
+/// Sequential consistency and transactional SC (Fig. 4). SC forbids cycles
+/// in program order and communication (Shasha & Snir); TSC additionally
+/// requires whole transactions to appear consecutively in the execution
+/// order, which is captured by forbidding lifted hb cycles (TxnOrder).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_MODELS_SCMODEL_H
+#define TMW_MODELS_SCMODEL_H
+
+#include "models/MemoryModel.h"
+
+namespace tmw {
+
+/// SC (Fig. 4 without the highlighted TxnOrder axiom).
+class ScModel : public MemoryModel {
+public:
+  const char *name() const override { return "SC"; }
+  Arch arch() const override { return Arch::SC; }
+  ConsistencyResult check(const Execution &X) const override;
+};
+
+/// Transactional SC (Fig. 4 with TxnOrder).
+class TscModel : public MemoryModel {
+public:
+  const char *name() const override { return "TSC"; }
+  Arch arch() const override { return Arch::TSC; }
+  ConsistencyResult check(const Execution &X) const override;
+};
+
+} // namespace tmw
+
+#endif // TMW_MODELS_SCMODEL_H

@@ -1,0 +1,50 @@
+//===- X86Model.cpp - x86-TSO with transactions ------------------------------==//
+
+#include "models/X86Model.h"
+
+using namespace tmw;
+
+const char *X86Model::name() const {
+  return (Cfg.Tfence || Cfg.StrongIsol || Cfg.TxnOrder) ? "x86+TM" : "x86";
+}
+
+Relation X86Model::happensBefore(const Execution &X) const {
+  unsigned N = X.size();
+  EventSet R = X.reads(), W = X.writes();
+
+  // ppo = ((W x W) u (R x W) u (R x R)) n po: TSO relaxes only W->R.
+  Relation Ppo = (Relation::cross(W, W, N) | Relation::cross(R, W, N) |
+                  Relation::cross(R, R, N)) &
+                 X.Po;
+
+  // implied = [L] ; po  u  po ; [L]  u  tfence, L the locked RMW events.
+  EventSet Locked = X.Rmw.domain() | X.Rmw.range();
+  Relation LockedId = Relation::identityOn(Locked, N);
+  Relation Implied = LockedId.compose(X.Po) | X.Po.compose(LockedId);
+  if (Cfg.Tfence)
+    Implied |= X.tfence();
+
+  return X.fenceRel(FenceKind::MFence) | Ppo | Implied | X.rfe() | X.fr() |
+         X.Co;
+}
+
+ConsistencyResult X86Model::check(const Execution &X) const {
+  Relation Com = X.com();
+  if (!(X.poLoc() | Com).isAcyclic())
+    return ConsistencyResult::fail("Coherence");
+
+  if (!(X.Rmw & X.fre().compose(X.coe())).isEmpty())
+    return ConsistencyResult::fail("RMWIsol");
+
+  Relation Hb = happensBefore(X);
+  if (!Hb.isAcyclic())
+    return ConsistencyResult::fail("Order");
+
+  Relation Stxn = X.stxn();
+  if (Cfg.StrongIsol && !strongLift(Com, Stxn).isAcyclic())
+    return ConsistencyResult::fail("StrongIsol");
+  if (Cfg.TxnOrder && !strongLift(Hb, Stxn).isAcyclic())
+    return ConsistencyResult::fail("TxnOrder");
+
+  return ConsistencyResult::ok();
+}

@@ -1,0 +1,52 @@
+//===- X86Model.h - x86-TSO with transactions -------------------*- C++ -*-==//
+///
+/// \file
+/// The x86 memory model of Fig. 5: TSO happens-before (Alglave et al.) with
+/// the paper's TM additions — implicit transaction fences (tfence), strong
+/// isolation, and transaction ordering (TxnOrder). Each TM axiom can be
+/// toggled for ablation; the all-off configuration is the non-transactional
+/// baseline used when synthesising the Forbid suite.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_MODELS_X86MODEL_H
+#define TMW_MODELS_X86MODEL_H
+
+#include "models/MemoryModel.h"
+
+namespace tmw {
+
+/// x86 (Fig. 5). Default configuration enables all TM axioms.
+class X86Model : public MemoryModel {
+public:
+  struct Config {
+    /// Implicit fences at transaction boundaries (Intel SDM §16.3.6).
+    bool Tfence = true;
+    /// acyclic(stronglift(com, stxn)) — strong isolation (§5.2).
+    bool StrongIsol = true;
+    /// acyclic(stronglift(hb, stxn)) — transaction atomicity (§5.2).
+    bool TxnOrder = true;
+
+    /// The non-transactional baseline (ignores stxn entirely).
+    static Config baseline() { return {false, false, false}; }
+  };
+
+  X86Model() = default;
+  explicit X86Model(Config C) : Cfg(C) {}
+
+  const char *name() const override;
+  Arch arch() const override { return Arch::X86; }
+  ConsistencyResult check(const Execution &X) const override;
+
+  /// The happens-before relation of Fig. 5 under this configuration.
+  Relation happensBefore(const Execution &X) const;
+
+  const Config &config() const { return Cfg; }
+
+private:
+  Config Cfg;
+};
+
+} // namespace tmw
+
+#endif // TMW_MODELS_X86MODEL_H

@@ -1,0 +1,105 @@
+//===- EventSet.h - Sets of execution events --------------------*- C++ -*-==//
+///
+/// \file
+/// A set of event identifiers, represented as a 64-bit mask. Executions in
+/// this library are capped at `kMaxEvents` events (the paper's experiments
+/// use at most 10 concrete events per execution), so a single machine word
+/// suffices and every set operation is a handful of instructions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_RELATION_EVENTSET_H
+#define TMW_RELATION_EVENTSET_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace tmw {
+
+/// Identifier of an event inside one execution. Events are numbered densely
+/// from zero.
+using EventId = unsigned;
+
+/// Hard cap on events per execution (one bit per event in a word).
+inline constexpr unsigned kMaxEvents = 64;
+
+/// A set of events, one bit per `EventId`.
+class EventSet {
+public:
+  constexpr EventSet() = default;
+  constexpr explicit EventSet(uint64_t Bits) : Bits(Bits) {}
+
+  /// The set {E}.
+  static constexpr EventSet singleton(EventId E) {
+    return EventSet(uint64_t(1) << E);
+  }
+
+  /// The set {0, 1, ..., N-1}.
+  static constexpr EventSet universe(unsigned N) {
+    assert(N <= kMaxEvents && "execution too large");
+    return EventSet(N == 64 ? ~uint64_t(0) : ((uint64_t(1) << N) - 1));
+  }
+
+  constexpr bool contains(EventId E) const {
+    return (Bits >> E) & 1;
+  }
+  constexpr bool empty() const { return Bits == 0; }
+  constexpr unsigned size() const { return __builtin_popcountll(Bits); }
+  constexpr uint64_t bits() const { return Bits; }
+
+  constexpr void insert(EventId E) { Bits |= uint64_t(1) << E; }
+  constexpr void erase(EventId E) { Bits &= ~(uint64_t(1) << E); }
+
+  constexpr EventSet operator|(EventSet O) const {
+    return EventSet(Bits | O.Bits);
+  }
+  constexpr EventSet operator&(EventSet O) const {
+    return EventSet(Bits & O.Bits);
+  }
+  constexpr EventSet operator-(EventSet O) const {
+    return EventSet(Bits & ~O.Bits);
+  }
+  constexpr EventSet &operator|=(EventSet O) {
+    Bits |= O.Bits;
+    return *this;
+  }
+  constexpr EventSet &operator&=(EventSet O) {
+    Bits &= O.Bits;
+    return *this;
+  }
+  constexpr bool operator==(const EventSet &O) const = default;
+
+  /// Complement within the universe of the first N events.
+  constexpr EventSet complement(unsigned N) const {
+    return universe(N) - *this;
+  }
+
+  /// Iteration over members, lowest id first.
+  class iterator {
+  public:
+    constexpr explicit iterator(uint64_t Bits) : Rest(Bits) {}
+    constexpr EventId operator*() const {
+      return static_cast<EventId>(__builtin_ctzll(Rest));
+    }
+    constexpr iterator &operator++() {
+      Rest &= Rest - 1;
+      return *this;
+    }
+    constexpr bool operator!=(const iterator &O) const {
+      return Rest != O.Rest;
+    }
+
+  private:
+    uint64_t Rest;
+  };
+
+  constexpr iterator begin() const { return iterator(Bits); }
+  constexpr iterator end() const { return iterator(0); }
+
+private:
+  uint64_t Bits = 0;
+};
+
+} // namespace tmw
+
+#endif // TMW_RELATION_EVENTSET_H

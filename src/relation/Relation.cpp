@@ -1,0 +1,202 @@
+//===- Relation.cpp - Binary relations over events ------------------------==//
+///
+/// \file
+/// Implementation of the bit-matrix relational algebra.
+///
+//===----------------------------------------------------------------------===//
+
+#include "relation/Relation.h"
+
+using namespace tmw;
+
+Relation Relation::identityOn(EventSet S, unsigned N) {
+  Relation R(N);
+  for (EventId E : S)
+    if (E < N)
+      R.insert(E, E);
+  return R;
+}
+
+Relation Relation::cross(EventSet A, EventSet B, unsigned N) {
+  Relation R(N);
+  uint64_t RangeBits = (B & EventSet::universe(N)).bits();
+  for (EventId E : A)
+    if (E < N)
+      R.Rows[E] = RangeBits;
+  return R;
+}
+
+bool Relation::isEmpty() const {
+  for (unsigned A = 0; A < Size; ++A)
+    if (Rows[A] != 0)
+      return false;
+  return true;
+}
+
+bool Relation::isIrreflexive() const {
+  for (unsigned A = 0; A < Size; ++A)
+    if ((Rows[A] >> A) & 1)
+      return false;
+  return true;
+}
+
+bool Relation::isAcyclic() const {
+  // A relation is acyclic iff its transitive closure is irreflexive.
+  return transitiveClosure().isIrreflexive();
+}
+
+unsigned Relation::numPairs() const {
+  unsigned N = 0;
+  for (unsigned A = 0; A < Size; ++A)
+    N += __builtin_popcountll(Rows[A]);
+  return N;
+}
+
+bool Relation::operator==(const Relation &O) const {
+  if (Size != O.Size)
+    return false;
+  for (unsigned A = 0; A < Size; ++A)
+    if (Rows[A] != O.Rows[A])
+      return false;
+  return true;
+}
+
+bool Relation::subsetOf(const Relation &O) const {
+  assert(Size == O.Size && "size mismatch");
+  for (unsigned A = 0; A < Size; ++A)
+    if (Rows[A] & ~O.Rows[A])
+      return false;
+  return true;
+}
+
+Relation Relation::operator|(const Relation &O) const {
+  Relation R = *this;
+  R |= O;
+  return R;
+}
+
+Relation Relation::operator&(const Relation &O) const {
+  Relation R = *this;
+  R &= O;
+  return R;
+}
+
+Relation Relation::operator-(const Relation &O) const {
+  Relation R = *this;
+  R -= O;
+  return R;
+}
+
+Relation &Relation::operator|=(const Relation &O) {
+  assert(Size == O.Size && "size mismatch");
+  for (unsigned A = 0; A < Size; ++A)
+    Rows[A] |= O.Rows[A];
+  return *this;
+}
+
+Relation &Relation::operator&=(const Relation &O) {
+  assert(Size == O.Size && "size mismatch");
+  for (unsigned A = 0; A < Size; ++A)
+    Rows[A] &= O.Rows[A];
+  return *this;
+}
+
+Relation &Relation::operator-=(const Relation &O) {
+  assert(Size == O.Size && "size mismatch");
+  for (unsigned A = 0; A < Size; ++A)
+    Rows[A] &= ~O.Rows[A];
+  return *this;
+}
+
+Relation Relation::compose(const Relation &O) const {
+  assert(Size == O.Size && "size mismatch");
+  Relation R(Size);
+  for (unsigned A = 0; A < Size; ++A) {
+    uint64_t Out = 0;
+    for (EventId Mid : EventSet(Rows[A]))
+      Out |= O.Rows[Mid];
+    R.Rows[A] = Out;
+  }
+  return R;
+}
+
+Relation Relation::inverse() const {
+  Relation R(Size);
+  for (unsigned A = 0; A < Size; ++A)
+    for (EventId B : EventSet(Rows[A]))
+      R.Rows[B] |= uint64_t(1) << A;
+  return R;
+}
+
+Relation Relation::complement() const {
+  Relation R(Size);
+  uint64_t All = EventSet::universe(Size).bits();
+  for (unsigned A = 0; A < Size; ++A)
+    R.Rows[A] = All & ~Rows[A];
+  return R;
+}
+
+Relation Relation::optional() const {
+  Relation R = *this;
+  for (unsigned A = 0; A < Size; ++A)
+    R.Rows[A] |= uint64_t(1) << A;
+  return R;
+}
+
+Relation Relation::transitiveClosure() const {
+  // Column-sweep variant of Warshall's algorithm: when Mid is reachable
+  // from A, everything reachable from Mid becomes reachable from A.
+  Relation R = *this;
+  for (unsigned Mid = 0; Mid < Size; ++Mid) {
+    uint64_t MidRow = R.Rows[Mid];
+    if (MidRow == 0)
+      continue;
+    for (unsigned A = 0; A < Size; ++A)
+      if ((R.Rows[A] >> Mid) & 1)
+        R.Rows[A] |= MidRow;
+  }
+  return R;
+}
+
+Relation Relation::reflexiveTransitiveClosure() const {
+  return transitiveClosure().optional();
+}
+
+Relation Relation::restrictDomain(EventSet S) const {
+  Relation R(Size);
+  for (EventId A : S & EventSet::universe(Size))
+    R.Rows[A] = Rows[A];
+  return R;
+}
+
+Relation Relation::restrictRange(EventSet S) const {
+  Relation R = *this;
+  uint64_t Mask = (S & EventSet::universe(Size)).bits();
+  for (unsigned A = 0; A < Size; ++A)
+    R.Rows[A] &= Mask;
+  return R;
+}
+
+EventSet Relation::domain() const {
+  EventSet S;
+  for (unsigned A = 0; A < Size; ++A)
+    if (Rows[A] != 0)
+      S.insert(A);
+  return S;
+}
+
+EventSet Relation::range() const {
+  uint64_t Bits = 0;
+  for (unsigned A = 0; A < Size; ++A)
+    Bits |= Rows[A];
+  return EventSet(Bits);
+}
+
+Relation tmw::weakLift(const Relation &R, const Relation &T) {
+  return T.compose(R - T).compose(T);
+}
+
+Relation tmw::strongLift(const Relation &R, const Relation &T) {
+  Relation TOpt = T.optional();
+  return TOpt.compose(R - T).compose(TOpt);
+}

@@ -1,0 +1,81 @@
+//===- Conformance.cpp - Conformance-test synthesis ----------------------------==//
+
+#include "synth/Conformance.h"
+
+#include <chrono>
+#include <unordered_set>
+
+using namespace tmw;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+} // namespace
+
+ForbidSuite tmw::synthesizeForbid(const MemoryModel &TmModel,
+                                  const MemoryModel &Baseline,
+                                  const Vocabulary &V, unsigned NumEvents,
+                                  double BudgetSeconds) {
+  ForbidSuite Suite;
+  Suite.NumEvents = NumEvents;
+  auto Start = std::chrono::steady_clock::now();
+  std::unordered_set<uint64_t> Seen;
+
+  ExecutionEnumerator Enum(V, NumEvents);
+  bool Finished = Enum.forEachBase([&](Execution &Base) {
+    ++Suite.BasesVisited;
+    if ((Suite.BasesVisited & 0x3ff) == 0 &&
+        secondsSince(Start) > BudgetSeconds)
+      return false;
+    // Forbid tests are consistent under the baseline; the baseline ignores
+    // transactions, so this prunes before any placement is tried.
+    if (!Baseline.consistent(Base))
+      return true;
+    return Enum.forEachTxnPlacement(Base, [&](Execution &X) {
+      ++Suite.PlacementsVisited;
+      if (TmModel.consistent(X))
+        return true;
+      if (!isMinimallyInconsistent(X, TmModel, V))
+        return true;
+      uint64_t H = canonicalHash(X);
+      if (Seen.insert(H).second) {
+        Suite.Tests.push_back(X);
+        Suite.FoundAtSeconds.push_back(secondsSince(Start));
+      }
+      return true;
+    });
+  });
+
+  Suite.Complete = Finished;
+  Suite.SynthesisSeconds = secondsSince(Start);
+  return Suite;
+}
+
+std::vector<Execution>
+tmw::relaxationsOf(const std::vector<Execution> &Forbid,
+                   const Vocabulary &V) {
+  std::vector<Execution> Out;
+  std::unordered_set<uint64_t> Seen;
+  for (const Execution &X : Forbid)
+    for (const Execution &Child : relaxOneStep(X, V))
+      if (Seen.insert(canonicalHash(Child)).second)
+        Out.push_back(Child);
+  return Out;
+}
+
+std::vector<unsigned>
+tmw::txnCountHistogram(const std::vector<Execution> &Tests) {
+  std::vector<unsigned> Hist;
+  for (const Execution &X : Tests) {
+    unsigned N = X.numTxns();
+    if (Hist.size() <= N)
+      Hist.resize(N + 1, 0);
+    ++Hist[N];
+  }
+  return Hist;
+}

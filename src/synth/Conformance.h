@@ -1,0 +1,62 @@
+//===- Conformance.h - Conformance-test synthesis ---------------*- C++ -*-==//
+///
+/// \file
+/// Synthesis of conformance suites (§4.2, Table 1):
+///
+///  * the Forbid suite — executions *minimally inconsistent* under a
+///    transactional model while consistent under its non-transactional
+///    baseline (i.e. exactly the tests that distinguish the TM extension);
+///  * the Allow suite — the one-⊏-step relaxations of the Forbid tests
+///    (maximally consistent executions), which include "just not enough"
+///    synchronisation to be forbidden.
+///
+/// Search is explicit and exhaustive up to the event bound; a wall-clock
+/// budget may stop it early, in which case `Complete` is false — mirroring
+/// the timeout column of the paper's Table 1. Discovery timestamps are
+/// recorded to reproduce the Fig. 7 distribution.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_SYNTH_CONFORMANCE_H
+#define TMW_SYNTH_CONFORMANCE_H
+
+#include "enumerate/Relaxation.h"
+
+#include <vector>
+
+namespace tmw {
+
+/// The Forbid suite for one event count.
+struct ForbidSuite {
+  unsigned NumEvents = 0;
+  /// False when the time budget stopped the search early.
+  bool Complete = true;
+  double SynthesisSeconds = 0;
+  /// Canonical representatives of the minimally-forbidden executions.
+  std::vector<Execution> Tests;
+  /// Wall-clock second (from search start) each test was first found.
+  std::vector<double> FoundAtSeconds;
+  /// Number of base executions visited and consistency checks performed.
+  uint64_t BasesVisited = 0, PlacementsVisited = 0;
+};
+
+/// Synthesise the Forbid suite: executions with \p NumEvents events that
+/// are minimally inconsistent under \p TmModel and consistent under
+/// \p Baseline.
+ForbidSuite synthesizeForbid(const MemoryModel &TmModel,
+                             const MemoryModel &Baseline,
+                             const Vocabulary &V, unsigned NumEvents,
+                             double BudgetSeconds = 1e18);
+
+/// The Allow suite: deduplicated one-step relaxations of \p Forbid
+/// (all consistent under the TM model by minimality).
+std::vector<Execution>
+relaxationsOf(const std::vector<Execution> &Forbid, const Vocabulary &V);
+
+/// Count the transactions of each execution (used for the §5.3 breakdown
+/// "29% had one transaction, ...").
+std::vector<unsigned> txnCountHistogram(const std::vector<Execution> &Tests);
+
+} // namespace tmw
+
+#endif // TMW_SYNTH_CONFORMANCE_H

@@ -1,0 +1,57 @@
+//===- SuiteIO.cpp - Writing synthesised suites to disk -------------------------==//
+
+#include "synth/SuiteIO.h"
+
+#include "litmus/FromExecution.h"
+#include "litmus/Printer.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+using namespace tmw;
+
+SuiteExport tmw::writeSuite(const std::string &Dir,
+                            const std::string &SuiteName,
+                            const std::vector<Execution> &Tests,
+                            bool Forbidden) {
+  SuiteExport Out;
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec);
+  if (Ec) {
+    Out.Error = "cannot create " + Dir + ": " + Ec.message();
+    return Out;
+  }
+
+  for (unsigned I = 0; I < Tests.size(); ++I) {
+    char Name[32];
+    snprintf(Name, sizeof(Name), "%03u", I);
+    Program P =
+        programFromExecution(Tests[I], SuiteName + "-" + Name).Prog;
+
+    std::ostringstream Body;
+    Body << "# suite: " << SuiteName << "\n";
+    Body << "# verdict: "
+         << (Forbidden ? "forbidden by the TM model (conformance: must "
+                         "not be observed)"
+                       : "allowed (maximally consistent relaxation)")
+         << "\n#\n";
+    // Paper-style rendering as comments.
+    std::istringstream Pretty(printGeneric(P));
+    std::string Line;
+    while (std::getline(Pretty, Line))
+      Body << "# " << Line << "\n";
+    Body << printDsl(P);
+
+    std::string Path = Dir + "/" + Name + ".litmus";
+    std::ofstream File(Path);
+    if (!File) {
+      Out.Error = "cannot write " + Path;
+      return Out;
+    }
+    File << Body.str();
+    ++Out.FilesWritten;
+  }
+  return Out;
+}

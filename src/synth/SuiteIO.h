@@ -1,0 +1,38 @@
+//===- SuiteIO.h - Writing synthesised suites to disk -----------*- C++ -*-==//
+///
+/// \file
+/// Serialises synthesised conformance suites as directories of litmus
+/// files — the analogue of the paper's companion material ("the
+/// automatically-generated litmus tests used to validate our models").
+/// Each test is written twice: in the round-trippable DSL (machine
+/// consumption) and as the paper-style pseudo-code rendering (comments),
+/// with provenance headers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_SYNTH_SUITEIO_H
+#define TMW_SYNTH_SUITEIO_H
+
+#include "synth/Conformance.h"
+
+#include <string>
+
+namespace tmw {
+
+/// Result of a suite export.
+struct SuiteExport {
+  unsigned FilesWritten = 0;
+  /// Empty when everything was written.
+  std::string Error;
+  explicit operator bool() const { return Error.empty(); }
+};
+
+/// Write \p Tests into directory \p Dir (created if missing) as
+/// `NNN.litmus` files with `# `-comment headers naming \p SuiteName and
+/// the verdict (\p Forbidden selects the header text).
+SuiteExport writeSuite(const std::string &Dir, const std::string &SuiteName,
+                       const std::vector<Execution> &Tests, bool Forbidden);
+
+} // namespace tmw
+
+#endif // TMW_SYNTH_SUITEIO_H

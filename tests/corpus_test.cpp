@@ -1,0 +1,130 @@
+//===- corpus_test.cpp - The litmus corpus against every model ----------------==//
+///
+/// Each corpus entry carries expected reachability verdicts; this suite
+/// checks all of them against the model-level candidate flow, checks the
+/// operational TSO machine against the x86 column, and checks structural
+/// invariants of the corpus itself.
+///
+//===----------------------------------------------------------------------===//
+
+#include "litmus/Library.h"
+
+#include "enumerate/Candidates.h"
+#include "hw/ImplModel.h"
+#include "hw/TsoMachine.h"
+#include "models/Armv8Model.h"
+#include "models/PowerModel.h"
+#include "models/ScModel.h"
+#include "models/X86Model.h"
+
+#include <gtest/gtest.h>
+
+using namespace tmw;
+
+namespace {
+
+class CorpusTest : public ::testing::TestWithParam<size_t> {
+protected:
+  CorpusEntry entry() const { return standardCorpus()[GetParam()]; }
+};
+
+TEST_P(CorpusTest, ModelVerdictsMatchExpectations) {
+  CorpusEntry E = entry();
+  ScModel Sc;
+  TscModel Tsc;
+  X86Model X86;
+  PowerModel Power;
+  Armv8Model Armv8;
+  struct {
+    Arch A;
+    const MemoryModel *M;
+  } Cols[] = {{Arch::SC, &Sc},
+              {Arch::TSC, &Tsc},
+              {Arch::X86, &X86},
+              {Arch::Power, &Power},
+              {Arch::Armv8, &Armv8}};
+  for (const auto &[A, M] : Cols) {
+    std::optional<bool> Want = expectedVerdict(E, A);
+    if (!Want)
+      continue;
+    EXPECT_EQ(postconditionReachable(E.Prog, *M), *Want)
+        << E.Name << " under " << M->name() << " (" << E.Note << ")";
+  }
+}
+
+TEST_P(CorpusTest, TsoMachineAgreesWithX86Column) {
+  CorpusEntry E = entry();
+  std::optional<bool> Want = expectedVerdict(E, Arch::X86);
+  if (!Want)
+    return;
+  TsoMachine M(E.Prog);
+  // The machine is a sound x86 implementation: it never exhibits what
+  // the model forbids. (It may be conservative on allowed tests, but for
+  // the corpus shapes it is exact.)
+  EXPECT_EQ(M.postconditionObservable(), *Want) << E.Name;
+}
+
+TEST_P(CorpusTest, MachineOutcomesAreModelAllowed) {
+  CorpusEntry E = entry();
+  X86Model Model;
+  std::vector<Outcome> Axiomatic = allowedOutcomes(E.Prog, Model);
+  TsoMachine M(E.Prog);
+  for (const Outcome &O : M.reachableOutcomes())
+    EXPECT_TRUE(std::find(Axiomatic.begin(), Axiomatic.end(), O) !=
+                Axiomatic.end())
+        << E.Name << ": machine produced " << O.str(E.Prog)
+        << " which the x86 model forbids";
+}
+
+TEST_P(CorpusTest, Power8SubstituteRespectsPowerColumn) {
+  CorpusEntry E = entry();
+  std::optional<bool> Want = expectedVerdict(E, Arch::Power);
+  if (!Want || *Want)
+    return; // conservatism may hide allowed outcomes; forbidden is exact
+  ImplModel P8 = ImplModel::power8();
+  for (const Candidate &C : enumerateCandidates(E.Prog))
+    if (C.O.satisfies(E.Prog)) {
+      EXPECT_FALSE(P8.consistent(C.X)) << E.Name;
+    }
+}
+
+TEST_P(CorpusTest, EntriesAreWellFormed) {
+  CorpusEntry E = entry();
+  EXPECT_FALSE(E.Name.empty());
+  EXPECT_FALSE(E.Prog.Threads.empty());
+  EXPECT_FALSE(E.Prog.RegPost.empty() && E.Prog.MemPost.empty());
+  for (const Candidate &C : enumerateCandidates(E.Prog))
+    EXPECT_EQ(C.X.checkWellFormed(), nullptr) << E.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEntries, CorpusTest,
+    ::testing::Range<size_t>(0, standardCorpus().size()),
+    [](const ::testing::TestParamInfo<size_t> &Info) {
+      std::string Name = standardCorpus()[Info.param].Name;
+      for (char &C : Name)
+        if (!isalnum(static_cast<unsigned char>(C)))
+          C = '_';
+      return Name;
+    });
+
+TEST(CorpusInventoryTest, CoversTheClassicFamilies) {
+  std::vector<CorpusEntry> C = standardCorpus();
+  EXPECT_GE(C.size(), 20u);
+  for (const char *Family :
+       {"SB", "MP", "LB", "WRC", "IRIW", "coherence", "2+2W", "paper"}) {
+    bool Found = false;
+    for (const CorpusEntry &E : C)
+      Found |= E.Family == Family;
+    EXPECT_TRUE(Found) << "missing family " << Family;
+  }
+}
+
+TEST(CorpusInventoryTest, TransactionalVariantsPresent) {
+  unsigned WithTxns = 0;
+  for (const CorpusEntry &E : standardCorpus())
+    WithTxns += E.Prog.hasTransactions();
+  EXPECT_GE(WithTxns, 6u);
+}
+
+} // namespace

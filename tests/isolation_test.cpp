@@ -1,0 +1,139 @@
+//===- isolation_test.cpp - Weak vs strong isolation (Fig. 3, §3.3) -----------==//
+
+#include "models/ScModel.h"
+
+#include "execution/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace tmw;
+
+namespace {
+
+/// Fig. 3(a) — non-interference: a transaction's two reads straddle an
+/// external write.
+Execution fig3a() {
+  ExecutionBuilder B;
+  EventId R1 = B.read(0, 0); // reads initial x
+  EventId R2 = B.read(0, 0); // reads the external write
+  EventId W = B.write(1, 0, MemOrder::NonAtomic, 1);
+  B.rf(W, R2);
+  B.txn({R1, R2});
+  return B.build();
+}
+
+/// Fig. 3(b) — an external write lands between a transaction's read and
+/// its write.
+Execution fig3b() {
+  ExecutionBuilder B;
+  EventId R = B.read(0, 0); // reads initial x
+  EventId W1 = B.write(0, 0, MemOrder::NonAtomic, 2);
+  EventId W2 = B.write(1, 0, MemOrder::NonAtomic, 1);
+  B.co(W2, W1);
+  B.txn({R, W1});
+  return B.build();
+}
+
+/// Fig. 3(c) — an external write separates a transaction's write from its
+/// own read of that location.
+Execution fig3c() {
+  ExecutionBuilder B;
+  EventId W1 = B.write(0, 0, MemOrder::NonAtomic, 1);
+  EventId R = B.read(0, 0); // reads the external write
+  EventId W2 = B.write(1, 0, MemOrder::NonAtomic, 2);
+  B.co(W1, W2);
+  B.rf(W2, R);
+  B.txn({W1, R});
+  return B.build();
+}
+
+/// Fig. 3(d) — containment: an external read observes a transaction's
+/// intermediate write.
+Execution fig3d() {
+  ExecutionBuilder B;
+  EventId W1 = B.write(0, 0, MemOrder::NonAtomic, 1);
+  EventId W2 = B.write(0, 0, MemOrder::NonAtomic, 2);
+  EventId R = B.read(1, 0); // observes the intermediate value
+  B.co(W1, W2);
+  B.rf(W1, R);
+  B.txn({W1, W2});
+  return B.build();
+}
+
+class Fig3Test : public ::testing::TestWithParam<int> {
+protected:
+  Execution execution() const {
+    switch (GetParam()) {
+    case 0:
+      return fig3a();
+    case 1:
+      return fig3b();
+    case 2:
+      return fig3c();
+    default:
+      return fig3d();
+    }
+  }
+};
+
+TEST_P(Fig3Test, ScConsistent) {
+  ScModel Sc;
+  EXPECT_TRUE(Sc.consistent(execution()));
+}
+
+TEST_P(Fig3Test, AllowedByWeakIsolation) {
+  // The interfering event is non-transactional, so weak isolation — which
+  // only protects transactions from other transactions — permits it.
+  EXPECT_TRUE(holdsWeakIsolation(execution()));
+}
+
+TEST_P(Fig3Test, ForbiddenByStrongIsolation) {
+  EXPECT_FALSE(holdsStrongIsolation(execution()));
+}
+
+TEST_P(Fig3Test, ForbiddenByTsc) {
+  // TxnOrder subsumes StrongIsol (§3.4).
+  TscModel Tsc;
+  EXPECT_FALSE(Tsc.consistent(execution()));
+}
+
+TEST_P(Fig3Test, WeakIsolationKicksInWhenInterfererIsTransactional) {
+  Execution X = execution();
+  // Wrap the interfering (single-event, second-thread) event in its own
+  // transaction: now even weak isolation forbids the shape.
+  for (unsigned E = 0; E < X.size(); ++E)
+    if (X.event(E).Thread == 1)
+      X.Txn[E] = 1;
+  ASSERT_EQ(X.checkWellFormed(), nullptr);
+  EXPECT_FALSE(holdsWeakIsolation(X));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFourShapes, Fig3Test, ::testing::Range(0, 4));
+
+TEST(IsolationTest, WeakIsolationImpliedForDisjointTransactions) {
+  // Two transactions touching different locations never violate either
+  // isolation property.
+  ExecutionBuilder B;
+  EventId W1 = B.write(0, 0, MemOrder::NonAtomic, 1);
+  EventId R1 = B.read(0, 0);
+  B.rf(W1, R1);
+  EventId W2 = B.write(1, 1, MemOrder::NonAtomic, 1);
+  EventId R2 = B.read(1, 1);
+  B.rf(W2, R2);
+  B.txn({W1, R1});
+  B.txn({W2, R2});
+  Execution X = B.build();
+  EXPECT_TRUE(holdsWeakIsolation(X));
+  EXPECT_TRUE(holdsStrongIsolation(X));
+}
+
+TEST(IsolationTest, AtomicOnlyLiftIgnoresRelaxedTransactions) {
+  // The interferer hits a relaxed transaction: the stxnat-restricted
+  // strong-isolation check does not complain.
+  Execution X = fig3d();
+  EXPECT_TRUE(holdsStrongIsolationAtomic(X)); // no atomic transactions
+  X.AtomicTxns = 1;                           // now transaction 0 is atomic
+  EXPECT_FALSE(holdsStrongIsolationAtomic(X));
+}
+
+} // namespace

@@ -1,0 +1,128 @@
+//===- printer_detail_test.cpp - Per-architecture rendering details -----------==//
+
+#include "TestGraphs.h"
+#include "litmus/FromExecution.h"
+#include "litmus/Printer.h"
+
+#include <gtest/gtest.h>
+
+using namespace tmw;
+
+namespace {
+
+Program example11Program() {
+  return programFromExecution(shapes::lockElisionConcrete(false), "ex11")
+      .Prog;
+}
+
+TEST(PrinterArmTest, AcquireAndReleaseMnemonics) {
+  std::string Asm = printAsm(example11Program(), Arch::Armv8);
+  EXPECT_NE(Asm.find("LDAXR"), std::string::npos); // acquire exclusive
+  EXPECT_NE(Asm.find("STXR"), std::string::npos);  // store exclusive
+  EXPECT_NE(Asm.find("STLR"), std::string::npos);  // release store
+  EXPECT_NE(Asm.find("TXBEGIN"), std::string::npos);
+  EXPECT_NE(Asm.find("TXEND"), std::string::npos);
+}
+
+TEST(PrinterArmTest, DependencyIdioms) {
+  ExecutionBuilder B;
+  EventId R = B.read(0, 0);
+  EventId W = B.write(0, 1, MemOrder::NonAtomic, 1);
+  B.data(R, W);
+  B.write(1, 0, MemOrder::NonAtomic, 1);
+  B.read(1, 1);
+  Program P = programFromExecution(B.build(), "dep").Prog;
+  std::string Asm = printAsm(P, Arch::Armv8);
+  EXPECT_NE(Asm.find("EOR"), std::string::npos);
+  std::string Pwr = printAsm(P, Arch::Power);
+  EXPECT_NE(Pwr.find("xor"), std::string::npos);
+}
+
+TEST(PrinterArmTest, FenceFlavours) {
+  ExecutionBuilder B;
+  B.write(0, 0, MemOrder::NonAtomic, 1);
+  B.fence(0, FenceKind::DmbLd);
+  B.read(0, 1);
+  B.write(1, 1, MemOrder::NonAtomic, 1);
+  B.fence(1, FenceKind::Isb);
+  B.read(1, 0);
+  Program P = programFromExecution(B.build(), "fences").Prog;
+  std::string Asm = printAsm(P, Arch::Armv8);
+  EXPECT_NE(Asm.find("DMB LD"), std::string::npos);
+  EXPECT_NE(Asm.find("ISB"), std::string::npos);
+}
+
+TEST(PrinterPowerTest, FencesAndExclusives) {
+  ExecutionBuilder B;
+  EventId R = B.read(0, 0);
+  EventId W = B.write(0, 0, MemOrder::NonAtomic, 1);
+  B.rmw(R, W);
+  B.fence(0, FenceKind::LwSync);
+  B.read(0, 1);
+  B.write(1, 1, MemOrder::NonAtomic, 1);
+  B.fence(1, FenceKind::Sync);
+  B.read(1, 0);
+  Program P = programFromExecution(B.build(), "pw").Prog;
+  std::string Asm = printAsm(P, Arch::Power);
+  EXPECT_NE(Asm.find("lwarx"), std::string::npos);
+  EXPECT_NE(Asm.find("stwcx."), std::string::npos);
+  EXPECT_NE(Asm.find("lwsync"), std::string::npos);
+  EXPECT_NE(Asm.find("sync"), std::string::npos);
+}
+
+TEST(PrinterX86Test, LockedRmwRendering) {
+  ExecutionBuilder B;
+  EventId R = B.read(0, 0);
+  EventId W = B.write(0, 0, MemOrder::NonAtomic, 1);
+  B.rmw(R, W);
+  B.read(1, 0);
+  Program P = programFromExecution(B.build(), "rmw").Prog;
+  std::string Asm = printAsm(P, Arch::X86);
+  EXPECT_NE(Asm.find("LOCK"), std::string::npos);
+}
+
+TEST(PrinterGenericTest, LockCallsAndAbortHandler) {
+  ExecutionBuilder B;
+  EventId L = B.lockCall(0, EventKind::Lock);
+  EventId W = B.write(0, 0, MemOrder::NonAtomic, 1);
+  EventId U = B.lockCall(0, EventKind::Unlock);
+  EventId Lt = B.lockCall(1, EventKind::TxLock);
+  EventId R = B.read(1, 0);
+  EventId Ut = B.lockCall(1, EventKind::TxUnlock);
+  B.cr({L, W, U});
+  B.cr({Lt, R, Ut});
+  Program P = programFromExecution(B.build(), "locks").Prog;
+  std::string Txt = printGeneric(P);
+  EXPECT_NE(Txt.find("lock()"), std::string::npos);
+  EXPECT_NE(Txt.find("unlock()"), std::string::npos);
+  EXPECT_NE(Txt.find("elided"), std::string::npos);
+}
+
+TEST(PrinterCppTest, TransactionFlavoursAndFences) {
+  ExecutionBuilder B;
+  EventId W = B.write(0, 0, MemOrder::Relaxed, 1);
+  B.fence(0, FenceKind::CppFence, MemOrder::SeqCst);
+  EventId R = B.read(1, 0, MemOrder::Relaxed);
+  B.rf(W, R);
+  B.txn({W}, /*Atomic=*/true);
+  B.txn({R}, /*Atomic=*/false);
+  Program P = programFromExecution(B.build(), "cpp").Prog;
+  std::string Src = printCpp(P);
+  EXPECT_NE(Src.find("atomic {"), std::string::npos);
+  EXPECT_NE(Src.find("synchronized {"), std::string::npos);
+  EXPECT_NE(Src.find("atomic_thread_fence(memory_order_seq_cst)"),
+            std::string::npos);
+  EXPECT_NE(Src.find("memory_order_relaxed"), std::string::npos);
+}
+
+TEST(PrinterDslTest, AnnotationsSurvive) {
+  Program P = example11Program();
+  std::string Dsl = printDsl(P);
+  EXPECT_NE(Dsl.find("acq"), std::string::npos);
+  EXPECT_NE(Dsl.find("rel"), std::string::npos);
+  EXPECT_NE(Dsl.find("excl"), std::string::npos);
+  EXPECT_NE(Dsl.find("rmw:"), std::string::npos);
+  EXPECT_NE(Dsl.find("txbegin"), std::string::npos);
+}
+
+} // namespace

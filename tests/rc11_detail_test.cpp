@@ -1,0 +1,148 @@
+//===- rc11_detail_test.cpp - RC11 synchronisation machinery ------------------==//
+///
+/// Directed tests of the C++ model's finer mechanisms: release sequences,
+/// fence-based synchronises-with, and the psc axiom on fence-only SC
+/// programs — the parts of Fig. 9 inherited from Lahav et al. that the
+/// paper's tsw extension has to coexist with.
+///
+//===----------------------------------------------------------------------===//
+
+#include "execution/Builder.h"
+#include "models/CppModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace tmw;
+
+namespace {
+
+TEST(Rc11Test, ReleaseFenceSynchronises) {
+  // W x (na); fence(rel); W y (rlx)  ||  R y (acq) = 1; R x (na) stale:
+  // the release fence makes the relaxed store a release point.
+  ExecutionBuilder B;
+  B.write(0, 0, MemOrder::NonAtomic, 1);
+  B.fence(0, FenceKind::CppFence, MemOrder::Release);
+  EventId Wy = B.write(0, 1, MemOrder::Relaxed, 1);
+  EventId Ry = B.read(1, 1, MemOrder::Acquire);
+  B.read(1, 0);
+  B.rf(Wy, Ry);
+  CppModel M;
+  EXPECT_FALSE(M.consistent(B.build()));
+}
+
+TEST(Rc11Test, AcquireFenceSynchronises) {
+  ExecutionBuilder B;
+  B.write(0, 0, MemOrder::NonAtomic, 1);
+  EventId Wy = B.write(0, 1, MemOrder::Release, 1);
+  EventId Ry = B.read(1, 1, MemOrder::Relaxed);
+  B.fence(1, FenceKind::CppFence, MemOrder::Acquire);
+  B.read(1, 0);
+  B.rf(Wy, Ry);
+  CppModel M;
+  EXPECT_FALSE(M.consistent(B.build()));
+}
+
+TEST(Rc11Test, RelaxedReadAloneDoesNotSynchronise) {
+  ExecutionBuilder B;
+  B.write(0, 0, MemOrder::NonAtomic, 1);
+  EventId Wy = B.write(0, 1, MemOrder::Release, 1);
+  EventId Ry = B.read(1, 1, MemOrder::Relaxed); // no acquire anywhere
+  B.read(1, 0);
+  B.rf(Wy, Ry);
+  CppModel M;
+  Execution X = B.build();
+  EXPECT_TRUE(M.consistent(X));
+  EXPECT_FALSE(M.raceFree(X)); // and x races
+}
+
+TEST(Rc11Test, ReleaseSequenceThroughRmwChain) {
+  // rel W y=1; [rmw y 1->2 rlx elsewhere]; acq R y=2 still synchronises
+  // with the release write (rf;rmw chain in rs).
+  ExecutionBuilder B;
+  B.write(0, 0, MemOrder::NonAtomic, 1);
+  EventId Wy = B.write(0, 1, MemOrder::Release, 1);
+  EventId Ry = B.read(1, 1, MemOrder::Relaxed);
+  EventId Wy2 = B.write(1, 1, MemOrder::Relaxed, 2);
+  B.rmw(Ry, Wy2);
+  B.rf(Wy, Ry);
+  EventId Ry2 = B.read(2, 1, MemOrder::Acquire);
+  B.rf(Wy2, Ry2);
+  B.read(2, 0); // must not be stale
+  CppModel M;
+  EXPECT_FALSE(M.consistent(B.build()));
+}
+
+TEST(Rc11Test, PlainInterveningStoreBreaksSynchronisation) {
+  // An unrelated relaxed store from a third thread between the release
+  // and the read: the reader observes *that* store, so no sw with the
+  // release write — the stale read is allowed (and racy).
+  ExecutionBuilder B;
+  B.write(0, 0, MemOrder::NonAtomic, 1);
+  B.write(0, 1, MemOrder::Release, 1);
+  EventId WOther = B.write(2, 1, MemOrder::Relaxed, 2);
+  EventId Ry = B.read(1, 1, MemOrder::Acquire);
+  B.read(1, 0);
+  B.rf(WOther, Ry);
+  CppModel M;
+  Execution X = B.build();
+  EXPECT_TRUE(M.consistent(X));
+}
+
+TEST(Rc11Test, ScFencesForbidRelaxedSb) {
+  // SB on relaxed atomics with SC fences between the accesses: psc_F
+  // restores order.
+  ExecutionBuilder B;
+  B.write(0, 0, MemOrder::Relaxed, 1);
+  B.fence(0, FenceKind::CppFence, MemOrder::SeqCst);
+  B.read(0, 1, MemOrder::Relaxed);
+  B.write(1, 1, MemOrder::Relaxed, 1);
+  B.fence(1, FenceKind::CppFence, MemOrder::SeqCst);
+  B.read(1, 0, MemOrder::Relaxed);
+  CppModel M;
+  ConsistencyResult R = M.check(B.build());
+  EXPECT_FALSE(R.Consistent);
+  EXPECT_STREQ(R.FailedAxiom, "SeqCst");
+}
+
+TEST(Rc11Test, MixedScAndRelaxedSbAllowed) {
+  // Only one thread fenced: the SB outcome survives.
+  ExecutionBuilder B;
+  B.write(0, 0, MemOrder::Relaxed, 1);
+  B.fence(0, FenceKind::CppFence, MemOrder::SeqCst);
+  B.read(0, 1, MemOrder::Relaxed);
+  B.write(1, 1, MemOrder::Relaxed, 1);
+  B.read(1, 0, MemOrder::Relaxed);
+  CppModel M;
+  EXPECT_TRUE(M.consistent(B.build()));
+}
+
+TEST(Rc11Test, TswCoexistsWithSw) {
+  // A release/acquire handoff INTO a transaction and a tsw handoff out
+  // of it compose into hb: end-to-end stale read forbidden.
+  ExecutionBuilder B;
+  EventId Wx = B.write(0, 0, MemOrder::NonAtomic, 1); // data
+  EventId Wy = B.write(0, 1, MemOrder::Release, 1);   // flag
+  EventId Ry = B.read(1, 1, MemOrder::Acquire);       // txn reads flag
+  EventId Wz = B.write(1, 2, MemOrder::NonAtomic, 1); // txn writes z
+  EventId Rz = B.read(2, 2);                          // second txn
+  EventId Rx = B.read(2, 0);                          // stale read of x
+  B.rf(Wy, Ry);
+  B.rf(Wz, Rz);
+  B.txn({Ry, Wz});
+  B.txn({Rz, Rx});
+  (void)Wx;
+  CppModel M;
+  EXPECT_FALSE(M.consistent(B.build()));
+}
+
+TEST(Rc11Test, HbComCatchesStaleReadInSameThread) {
+  ExecutionBuilder B;
+  EventId W = B.write(0, 0, MemOrder::Relaxed, 1);
+  EventId R = B.read(0, 0, MemOrder::Relaxed);
+  B.write(1, 0, MemOrder::Relaxed, 2);
+  B.rf(W, R);
+  CppModel M;
+  EXPECT_TRUE(M.consistent(B.build())); // reading own po-earlier write: fine
+}
+
+} // namespace

@@ -1,0 +1,161 @@
+//===- tso_edge_test.cpp - TSO+TSX machine corner cases -----------------------==//
+
+#include "hw/TsoMachine.h"
+
+#include "litmus/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace tmw;
+
+namespace {
+
+Program parse(const char *Src) {
+  ParseResult R = parseProgram(Src);
+  EXPECT_TRUE(static_cast<bool>(R)) << R.Error;
+  return R.Prog;
+}
+
+TEST(TsoEdgeTest, AbortRollsBackRegisters) {
+  // A load inside an aborted transaction leaves no architectural trace:
+  // no outcome pairs ok=0 with a valid r1.
+  Program P = parse(R"(name rollback
+loc ok 1
+thread 0
+  txbegin
+  load x
+  load x
+  txend
+thread 1
+  store x 1
+post mem ok 0
+post reg 0 r1 0
+)");
+  TsoMachine M(P);
+  for (const Outcome &O : M.reachableOutcomes()) {
+    LocId Ok = P.locByName("ok");
+    if (O.MemValues[Ok] != 0)
+      continue;
+    // Aborted: the transactional loads must be absent from the outcome.
+    for (const auto &[T, I, V] : O.RegValues)
+      EXPECT_FALSE(T == 0 && (I == 1 || I == 2))
+          << "register survived an abort: " << O.str(P);
+  }
+}
+
+TEST(TsoEdgeTest, TransactionReadsItsOwnWrites) {
+  Program P = parse(R"(name fwd-txn
+loc ok 1
+thread 0
+  txbegin
+  store x 7
+  load x
+  txend
+thread 1
+  load x
+post mem ok 1
+post reg 0 r2 7
+)");
+  TsoMachine M(P);
+  EXPECT_TRUE(M.postconditionObservable());
+}
+
+TEST(TsoEdgeTest, UncommittedWritesInvisible) {
+  // Before commit, the transactional store is invisible to others: no
+  // outcome has thread 1 reading 7 while ok=0 (aborted).
+  Program P = parse(R"(name invisible
+loc ok 1
+thread 0
+  txbegin
+  store x 7
+  load y
+  load y
+  txend
+thread 1
+  load x
+  store y 1
+post mem ok 0
+post reg 1 r0 7
+)");
+  TsoMachine M(P);
+  EXPECT_FALSE(M.postconditionObservable());
+}
+
+TEST(TsoEdgeTest, SequentialTransactionsBothCommit) {
+  Program P = parse(R"(name seq-txns
+loc ok 1
+thread 0
+  txbegin
+  store x 1
+  txend
+  txbegin
+  store y 1
+  txend
+thread 1
+  load y
+  load x
+post mem ok 1
+post reg 1 r0 1
+post reg 1 r1 1
+)");
+  TsoMachine M(P);
+  EXPECT_TRUE(M.postconditionObservable());
+}
+
+TEST(TsoEdgeTest, WriteWriteConflictAborts) {
+  // Two transactions writing the same location cannot both commit with
+  // interleaved visibility; at least serialisation holds.
+  Program P = parse(R"(name ww-conflict
+loc ok 1
+thread 0
+  txbegin
+  store x 1
+  store x 2
+  txend
+thread 1
+  load x
+post mem ok 1
+post reg 1 r0 1
+)");
+  // The intermediate value 1 is never visible when the txn commits.
+  TsoMachine M(P);
+  EXPECT_FALSE(M.postconditionObservable());
+}
+
+TEST(TsoEdgeTest, EmptyTransactionIsHarmless) {
+  Program P = parse(R"(name empty-txn
+loc ok 1
+thread 0
+  txbegin
+  txend
+  store x 1
+thread 1
+  load x
+post mem ok 1
+post reg 1 r0 1
+)");
+  TsoMachine M(P);
+  EXPECT_TRUE(M.postconditionObservable());
+}
+
+TEST(TsoEdgeTest, MfenceInsideTransactionAllowed) {
+  // A fence inside a transaction: buffers are empty inside transactions
+  // anyway (writes go to the txn write set), so it is a no-op.
+  Program P = parse(R"(name fence-in-txn
+loc ok 1
+thread 0
+  txbegin
+  store x 1
+  fence mfence
+  load y
+  txend
+thread 1
+  load x
+post mem ok 1
+post reg 0 r3 0
+)");
+  TsoMachine M(P);
+  EXPECT_TRUE(M.postconditionObservable());
+}
+
+} // namespace
