@@ -1,11 +1,14 @@
 //===- BenchUtil.h - Shared helpers for the experiment harnesses -*- C++ -*-==//
 ///
 /// \file
-/// Table formatting and environment-variable budget knobs shared by the
-/// bench binaries. Each bench regenerates one table or figure of the
-/// paper; `TMW_BENCH_BUDGET_SECONDS` and `TMW_BENCH_MAX_EVENTS` scale the
-/// searches (defaults keep every binary under a couple of minutes, like
-/// the paper's preliminary-results mode in §5.3).
+/// Table formatting and budget knobs shared by the bench binaries. Each
+/// bench regenerates one table or figure of the paper;
+/// `TMW_BENCH_BUDGET_SECONDS` and `TMW_BENCH_MAX_EVENTS` scale the searches
+/// (defaults keep every binary under a couple of minutes, like the paper's
+/// preliminary-results mode in §5.3). `--jobs N` (or `TMW_BENCH_JOBS`)
+/// shards the enumeration across N threads. `writeBenchJson` drops a
+/// machine-readable `BENCH_<name>.json` next to the binary so the perf
+/// trajectory of the hot paths can be tracked across commits.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -14,6 +17,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 
 namespace tmw::bench {
@@ -30,6 +34,21 @@ inline unsigned maxEvents(unsigned Default) {
   return Default;
 }
 
+/// Parse the `--jobs N` / `--jobs=N` command-line knob, falling back to
+/// `TMW_BENCH_JOBS`, then to \p Default (1: deterministic single-threaded
+/// runs unless parallelism is asked for).
+inline unsigned jobs(int Argc, char **Argv, unsigned Default = 1) {
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
+      return std::max(1, std::atoi(Argv[I + 1]));
+    if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
+      return std::max(1, std::atoi(Argv[I] + 7));
+  }
+  if (const char *S = std::getenv("TMW_BENCH_JOBS"))
+    return std::max(1, std::atoi(S));
+  return Default;
+}
+
 inline void header(const char *Title, const char *PaperRef) {
   std::printf("\n================================================================\n");
   std::printf("%s\n", Title);
@@ -38,6 +57,20 @@ inline void header(const char *Title, const char *PaperRef) {
 }
 
 inline const char *yesNo(bool B) { return B ? "yes" : "no"; }
+
+/// Write `BENCH_<name>.json` containing \p JsonBody (a complete JSON
+/// object) into the working directory. Returns true on success.
+inline bool writeBenchJson(const char *Name, const std::string &JsonBody) {
+  std::string Path = std::string("BENCH_") + Name + ".json";
+  std::FILE *F = std::fopen(Path.c_str(), "w");
+  if (!F)
+    return false;
+  std::fputs(JsonBody.c_str(), F);
+  std::fputc('\n', F);
+  std::fclose(F);
+  std::printf("wrote %s\n", Path.c_str());
+  return true;
+}
 
 } // namespace tmw::bench
 

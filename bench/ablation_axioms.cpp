@@ -6,6 +6,15 @@
 /// suite each axiom carries. Includes the §9 comparison (Dongol-style
 /// atomicity-only models) and the §6.2 buggy-RTL configuration.
 ///
+/// Ablation is the canonical many-models-one-execution workload, so this
+/// bench also measures the consistency-check hot path both ways — derived
+/// relations memoized in a shared `ExecutionAnalysis` versus re-derived
+/// per access (the historical uncached behaviour) — and emits the
+/// throughputs to `BENCH_ablation_axioms.json`.
+///
+/// Knobs: `--jobs N` shards the Forbid synthesis across N threads;
+/// `TMW_BENCH_BUDGET_SECONDS`, `TMW_BENCH_MAX_EVENTS` as everywhere.
+///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
@@ -14,6 +23,7 @@
 #include "models/X86Model.h"
 #include "synth/Conformance.h"
 
+#include <chrono>
 #include <functional>
 #include <vector>
 
@@ -23,6 +33,7 @@ namespace {
 
 template <typename ModelT, typename ConfigT>
 void ablate(const char *ArchName, Arch A, unsigned MaxE, double Budget,
+            unsigned Jobs,
             const std::vector<std::pair<const char *,
                                         std::function<ConfigT()>>> &Drops) {
   ModelT Tm;
@@ -31,11 +42,11 @@ void ablate(const char *ArchName, Arch A, unsigned MaxE, double Budget,
 
   std::vector<Execution> Forbid;
   for (unsigned N = 2; N <= MaxE; ++N) {
-    ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget);
+    ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget, Jobs);
     Forbid.insert(Forbid.end(), S.Tests.begin(), S.Tests.end());
   }
-  std::printf("\n%s: %zu Forbid tests (|E| <= %u)\n", ArchName,
-              Forbid.size(), MaxE);
+  std::printf("\n%s: %zu Forbid tests (|E| <= %u, %u job%s)\n", ArchName,
+              Forbid.size(), MaxE, Jobs, Jobs == 1 ? "" : "s");
   std::printf("  %-22s %16s\n", "dropped axiom", "tests now allowed");
   for (const auto &[Name, MakeConfig] : Drops) {
     ModelT Ablated{MakeConfig()};
@@ -46,16 +57,52 @@ void ablate(const char *ArchName, Arch A, unsigned MaxE, double Budget,
   }
 }
 
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// Measure checks/sec over \p Corpus x \p Models, with one shared memoized
+/// analysis per execution (Cached) or per-access recomputation (the
+/// uncached seed behaviour).
+double checksPerSec(const std::vector<Execution> &Corpus,
+                    const std::vector<const MemoryModel *> &Models,
+                    bool Cached, double MinSeconds) {
+  uint64_t Checks = 0;
+  volatile unsigned Guard = 0;
+  auto Start = std::chrono::steady_clock::now();
+  do {
+    for (const Execution &X : Corpus) {
+      if (Cached) {
+        ExecutionAnalysis A(X);
+        for (const MemoryModel *M : Models) {
+          Guard += M->check(A).Consistent;
+          ++Checks;
+        }
+      } else {
+        for (const MemoryModel *M : Models) {
+          ExecutionAnalysis A(X, AnalysisCaching::Recompute);
+          Guard += M->check(A).Consistent;
+          ++Checks;
+        }
+      }
+    }
+  } while (secondsSince(Start) < MinSeconds);
+  return static_cast<double>(Checks) / secondsSince(Start);
+}
+
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
   bench::header("Ablations: what each TM axiom carries",
                 "DESIGN.md ablation index; §5-§6, §9, §6.2");
   double Budget = bench::budgetSeconds(60.0);
   unsigned MaxE = bench::maxEvents(4);
+  unsigned Jobs = bench::jobs(argc, argv);
 
   ablate<X86Model, X86Model::Config>(
-      "x86", Arch::X86, MaxE, Budget,
+      "x86", Arch::X86, MaxE, Budget, Jobs,
       {{"tfence", [] {
           X86Model::Config C;
           C.Tfence = false;
@@ -73,7 +120,7 @@ int main() {
         }}});
 
   ablate<PowerModel, PowerModel::Config>(
-      "Power", Arch::Power, MaxE > 3 ? 3 : MaxE, Budget,
+      "Power", Arch::Power, MaxE > 3 ? 3 : MaxE, Budget, Jobs,
       {{"tfence", [] {
           PowerModel::Config C;
           C.Tfence = false;
@@ -119,7 +166,7 @@ int main() {
         }}});
 
   ablate<Armv8Model, Armv8Model::Config>(
-      "ARMv8", Arch::Armv8, MaxE > 3 ? 3 : MaxE, Budget,
+      "ARMv8", Arch::Armv8, MaxE > 3 ? 3 : MaxE, Budget, Jobs,
       {{"tfence", [] {
           Armv8Model::Config C;
           C.Tfence = false;
@@ -145,5 +192,66 @@ int main() {
               "re-checks the Forbid\nsuite; 'tests now allowed' > 0 means "
               "the axiom is load-bearing (§6.2's RTL bug\nis the TxnOrder "
               "row on ARMv8).\n");
+
+  //===------------------------------------------------------------------===
+  // Hot-path throughput: memoized ExecutionAnalysis vs uncached per-access
+  // recomputation over the ablation workload (every model configuration
+  // evaluated on every corpus execution).
+  //===------------------------------------------------------------------===
+  std::printf("\nConsistency-check throughput (x86 vocabulary, all "
+              "ablation configs):\n");
+
+  // Corpus: transaction placements over enumerated x86 bases.
+  std::vector<Execution> Corpus;
+  {
+    Vocabulary V = Vocabulary::forArch(Arch::X86);
+    ExecutionEnumerator Enum(V, std::min(MaxE, 4u));
+    constexpr unsigned kMaxCorpus = 512;
+    Enum.forEachBase([&](Execution &Base) {
+      return Enum.forEachTxnPlacement(Base, [&](Execution &X) {
+        Corpus.push_back(X);
+        return Corpus.size() < kMaxCorpus;
+      }) && Corpus.size() < kMaxCorpus;
+    });
+  }
+
+  X86Model Tm;
+  X86Model NoTfence{[] {
+    X86Model::Config C;
+    C.Tfence = false;
+    return C;
+  }()};
+  X86Model NoIsol{[] {
+    X86Model::Config C;
+    C.StrongIsol = false;
+    return C;
+  }()};
+  X86Model NoOrder{[] {
+    X86Model::Config C;
+    C.TxnOrder = false;
+    return C;
+  }()};
+  X86Model Base{X86Model::Config::baseline()};
+  std::vector<const MemoryModel *> Models = {&Tm, &NoTfence, &NoIsol,
+                                             &NoOrder, &Base};
+
+  double Uncached = checksPerSec(Corpus, Models, /*Cached=*/false, 1.0);
+  double Cached = checksPerSec(Corpus, Models, /*Cached=*/true, 1.0);
+  double Speedup = Uncached > 0 ? Cached / Uncached : 0.0;
+  std::printf("  uncached (per-access recompute): %12.0f checks/sec\n",
+              Uncached);
+  std::printf("  cached (shared ExecutionAnalysis): %10.0f checks/sec\n",
+              Cached);
+  std::printf("  speedup: %.2fx\n", Speedup);
+
+  char Json[512];
+  std::snprintf(Json, sizeof(Json),
+                "{\"bench\": \"ablation_axioms\", \"jobs\": %u, "
+                "\"corpus_executions\": %zu, \"model_configs\": %zu, "
+                "\"uncached_checks_per_sec\": %.0f, "
+                "\"cached_checks_per_sec\": %.0f, \"speedup\": %.3f}",
+                Jobs, Corpus.size(), Models.size(), Uncached, Cached,
+                Speedup);
+  bench::writeBenchJson("ablation_axioms", Json);
   return 0;
 }

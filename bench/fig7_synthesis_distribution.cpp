@@ -19,7 +19,7 @@
 
 using namespace tmw;
 
-int main() {
+int main(int argc, char **argv) {
   bench::header(
       "Fig. 7: distribution of synthesis times for the x86 Forbid tests",
       "Fig. 7; §5.3");
@@ -29,11 +29,13 @@ int main() {
   Vocabulary V = Vocabulary::forArch(Arch::X86);
   unsigned N = bench::maxEvents(5);
   double Budget = bench::budgetSeconds(180.0);
+  unsigned Jobs = bench::jobs(argc, argv);
 
-  ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget);
-  std::printf("|E| = %u: %zu tests, synthesis %.2fs, complete: %s\n\n", N,
-              S.Tests.size(), S.SynthesisSeconds,
-              bench::yesNo(S.Complete));
+  ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget, Jobs);
+  std::printf("|E| = %u: %zu tests, synthesis %.2fs (%u job%s), "
+              "complete: %s\n\n",
+              N, S.Tests.size(), S.SynthesisSeconds, Jobs,
+              Jobs == 1 ? "" : "s", bench::yesNo(S.Complete));
   if (S.Tests.empty())
     return 0;
 

@@ -20,6 +20,9 @@
 
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 using namespace tmw;
 
 namespace {
@@ -72,6 +75,8 @@ void BM_DerivedFr(benchmark::State &State) {
 }
 BENCHMARK(BM_DerivedFr);
 
+// Per-model check cost with a fresh memoized analysis per check (the cost
+// a single-model enumeration pays per candidate).
 template <typename ModelT> void BM_ModelCheck(benchmark::State &State) {
   ModelT M;
   Execution X = iriwLike();
@@ -84,6 +89,62 @@ BENCHMARK(BM_ModelCheck<X86Model>)->Name("BM_ModelCheck/x86");
 BENCHMARK(BM_ModelCheck<PowerModel>)->Name("BM_ModelCheck/Power");
 BENCHMARK(BM_ModelCheck<Armv8Model>)->Name("BM_ModelCheck/ARMv8");
 BENCHMARK(BM_ModelCheck<CppModel>)->Name("BM_ModelCheck/C++");
+
+// The same check with memoization disabled: every derived-relation access
+// re-derives, reproducing the uncached pre-ExecutionAnalysis hot path.
+template <typename ModelT>
+void BM_ModelCheckUncached(benchmark::State &State) {
+  ModelT M;
+  Execution X = iriwLike();
+  for (auto _ : State) {
+    ExecutionAnalysis A(X, AnalysisCaching::Recompute);
+    benchmark::DoNotOptimize(M.check(A));
+  }
+}
+BENCHMARK(BM_ModelCheckUncached<X86Model>)
+    ->Name("BM_ModelCheckUncached/x86");
+BENCHMARK(BM_ModelCheckUncached<PowerModel>)
+    ->Name("BM_ModelCheckUncached/Power");
+BENCHMARK(BM_ModelCheckUncached<Armv8Model>)
+    ->Name("BM_ModelCheckUncached/ARMv8");
+BENCHMARK(BM_ModelCheckUncached<CppModel>)
+    ->Name("BM_ModelCheckUncached/C++");
+
+// All six models on one candidate through one shared analysis — the
+// multi-model/ablation workload the memoization layer exists for.
+void BM_AllModelsSharedAnalysis(benchmark::State &State) {
+  ScModel Sc;
+  TscModel Tsc;
+  X86Model X86;
+  PowerModel Power;
+  Armv8Model Armv8;
+  CppModel Cpp;
+  const MemoryModel *Models[] = {&Sc, &Tsc, &X86, &Power, &Armv8, &Cpp};
+  Execution X = iriwLike();
+  for (auto _ : State) {
+    ExecutionAnalysis A(X);
+    for (const MemoryModel *M : Models)
+      benchmark::DoNotOptimize(M->check(A));
+  }
+}
+BENCHMARK(BM_AllModelsSharedAnalysis);
+
+void BM_AllModelsUncached(benchmark::State &State) {
+  ScModel Sc;
+  TscModel Tsc;
+  X86Model X86;
+  PowerModel Power;
+  Armv8Model Armv8;
+  CppModel Cpp;
+  const MemoryModel *Models[] = {&Sc, &Tsc, &X86, &Power, &Armv8, &Cpp};
+  Execution X = iriwLike();
+  for (auto _ : State)
+    for (const MemoryModel *M : Models) {
+      ExecutionAnalysis A(X, AnalysisCaching::Recompute);
+      benchmark::DoNotOptimize(M->check(A));
+    }
+}
+BENCHMARK(BM_AllModelsUncached);
 
 void BM_MinimalityCheck(benchmark::State &State) {
   // The §8.1-style minimal test under x86+TM.
@@ -125,4 +186,26 @@ BENCHMARK(BM_LitmusConversion);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN, plus a default machine-readable report: unless the
+// caller overrides, results are mirrored to BENCH_micro_relation.json so
+// the perf trajectory of the hot paths is tracked per run.
+int main(int argc, char **argv) {
+  std::vector<char *> Args(argv, argv + argc);
+  std::string OutFlag = "--benchmark_out=BENCH_micro_relation.json";
+  std::string FmtFlag = "--benchmark_out_format=json";
+  bool HasOut = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]).rfind("--benchmark_out", 0) == 0)
+      HasOut = true;
+  if (!HasOut) {
+    Args.push_back(OutFlag.data());
+    Args.push_back(FmtFlag.data());
+  }
+  int Argc = static_cast<int>(Args.size());
+  benchmark::Initialize(&Argc, Args.data());
+  if (benchmark::ReportUnrecognizedArguments(Argc, Args.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -20,7 +20,7 @@
 
 using namespace tmw;
 
-int main() {
+int main(int argc, char **argv) {
   bench::header("Table 1 (Power): testing the transactional Power model",
                 "Table 1, right half; §5.3");
 
@@ -30,6 +30,7 @@ int main() {
   ImplModel P8 = ImplModel::power8();
   unsigned MaxE = bench::maxEvents(4);
   double Budget = bench::budgetSeconds(120.0);
+  unsigned Jobs = bench::jobs(argc, argv);
 
   auto SeenOnP8 = [&P8](const Execution &X) {
     Program P = programFromExecution(X, "t").Prog;
@@ -49,7 +50,7 @@ int main() {
   unsigned TotForbid = 0, TotForbidSeen = 0;
   std::vector<Execution> AllForbid;
   for (unsigned N = 2; N <= MaxE; ++N) {
-    ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget);
+    ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget, Jobs);
     unsigned Seen = 0;
     for (const Execution &X : S.Tests)
       Seen += ForbiddenSeenOnP8(X);

@@ -27,7 +27,7 @@
 
 using namespace tmw;
 
-int main() {
+int main(int argc, char **argv) {
   bench::header("Table 1 (x86): testing the transactional x86 model",
                 "Table 1, left half; §5.3");
 
@@ -36,6 +36,7 @@ int main() {
   Vocabulary V = Vocabulary::forArch(Arch::X86);
   unsigned MaxE = bench::maxEvents(5);
   double Budget = bench::budgetSeconds(120.0);
+  unsigned Jobs = bench::jobs(argc, argv);
 
   std::printf("%4s %12s %9s %7s %5s %5s | %7s %5s %5s %9s\n", "|E|",
               "synth(s)", "complete", "Forbid", "S", "!S", "Allow", "S",
@@ -58,7 +59,7 @@ int main() {
   };
 
   for (unsigned N = 2; N <= MaxE; ++N) {
-    ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget);
+    ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget, Jobs);
     unsigned Seen = 0;
     for (const Execution &X : S.Tests)
       Seen += ForbiddenSeenOnTso(X);

@@ -53,6 +53,8 @@ struct BaseSearch {
   Execution X;
   /// Thread of each event and position within the thread.
   std::vector<unsigned> ThreadOf, PosOf, ThreadSize;
+  /// Shard filter over the first branching decision (largest-thread size).
+  unsigned Shard = 0, NumShards = 1;
   bool Aborted = false;
 
   BaseSearch(const Vocabulary &V, unsigned Num,
@@ -111,6 +113,9 @@ void BaseSearch::chooseSkeleton(std::vector<unsigned> &Sizes,
   // cycles live) are visited early, front-loading test discovery — the
   // explicit-search counterpart of the paper's Fig. 7 observation.
   for (unsigned Part = 1; Part <= std::min(Remaining, MaxPart); ++Part) {
+    // Sharding partitions the space on the very first decision only.
+    if (Sizes.empty() && (Part - 1) % NumShards != Shard)
+      continue;
     Sizes.push_back(Part);
     chooseSkeleton(Sizes, Remaining - Part, Part);
     Sizes.pop_back();
@@ -466,6 +471,17 @@ struct TxnSearch {
 bool ExecutionEnumerator::forEachBase(
     const std::function<bool(Execution &)> &F) const {
   BaseSearch S(Vocab, Num, F);
+  S.run();
+  return !S.Aborted;
+}
+
+bool ExecutionEnumerator::forEachBaseSharded(
+    unsigned Shard, unsigned NumShards,
+    const std::function<bool(Execution &)> &F) const {
+  assert(NumShards > 0 && Shard < NumShards && "bad shard index");
+  BaseSearch S(Vocab, Num, F);
+  S.Shard = Shard;
+  S.NumShards = NumShards;
   S.run();
   return !S.Aborted;
 }

@@ -13,6 +13,12 @@
 /// one of which is a write (an access without a communication edge cannot
 /// lie on a violation cycle), and fences are interior to their thread.
 ///
+/// The search space can be sharded for parallel enumeration: the first
+/// branching decision of the canonical-skeleton DFS (the size of the
+/// largest thread) is dealt round-robin across shards, so the shards
+/// partition the space exactly and each can run on its own thread with an
+/// independent `Execution` buffer and `ExecutionAnalysis` arena.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_ENUMERATE_ENUMERATOR_H
@@ -61,6 +67,14 @@ public:
   /// the enumeration (e.g. on a time budget); the result is false when
   /// aborted.
   bool forEachBase(const std::function<bool(Execution &)> &F) const;
+
+  /// Shard \p Shard of \p NumShards of `forEachBase`: visits exactly the
+  /// bases whose first skeleton decision (the largest-thread size) falls to
+  /// this shard, so the union over all shards is the full space and the
+  /// shards are pairwise disjoint. Shards share nothing and may run on
+  /// concurrent threads.
+  bool forEachBaseSharded(unsigned Shard, unsigned NumShards,
+                          const std::function<bool(Execution &)> &F) const;
 
   /// Invoke \p F on every placement of at least one successful transaction
   /// over \p X (the Txn fields are mutated in place and restored). \p F

@@ -223,11 +223,11 @@ std::vector<Execution> tmw::relaxOneStep(const Execution &X,
   return Out;
 }
 
-bool tmw::isMinimallyInconsistent(const Execution &X, const MemoryModel &M,
-                                  const Vocabulary &V) {
-  if (M.consistent(X))
+bool tmw::isMinimallyInconsistent(const ExecutionAnalysis &A,
+                                  const MemoryModel &M, const Vocabulary &V) {
+  if (M.consistent(A))
     return false;
-  for (const Execution &Y : relaxOneStep(X, V))
+  for (const Execution &Y : relaxOneStep(A.execution(), V))
     if (!M.consistent(Y))
       return false;
   return true;

@@ -34,9 +34,11 @@ Execution removeEvent(const Execution &X, EventId E);
 /// All well-formed executions one ⊏-step below \p X under vocabulary \p V.
 std::vector<Execution> relaxOneStep(const Execution &X, const Vocabulary &V);
 
-/// True when \p X is inconsistent under \p M and every one-step relaxation
-/// is consistent.
-bool isMinimallyInconsistent(const Execution &X, const MemoryModel &M,
+/// True when the analysed execution is inconsistent under \p M and every
+/// one-step relaxation is consistent. Takes the (possibly shared) analysis
+/// so the caller's `M.check` and this function's own top-level check reuse
+/// the same derived relations; an `Execution` converts implicitly.
+bool isMinimallyInconsistent(const ExecutionAnalysis &A, const MemoryModel &M,
                              const Vocabulary &V);
 
 /// A serialisation of \p X that is invariant under renaming of threads (of

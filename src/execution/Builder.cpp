@@ -7,6 +7,7 @@
 using namespace tmw;
 
 EventId ExecutionBuilder::append(const Event &Ev) {
+  // Exactly kMaxEvents events are legal, matching Execution::clear.
   assert(Events.size() < kMaxEvents && "execution too large");
   Events.push_back(Ev);
   return static_cast<EventId>(Events.size() - 1);

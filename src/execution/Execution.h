@@ -8,7 +8,11 @@
 /// critical regions similarly induce `scr`.
 ///
 /// The derived relations of §2.1 (fr, com, internal/external restrictions,
-/// fence relations, tfence) are provided as methods.
+/// fence relations, tfence) are provided as methods. These re-derive on
+/// every call; the consistency-check hot path goes through
+/// `ExecutionAnalysis` (ExecutionAnalysis.h), which memoizes each derived
+/// term once per immutable execution — keep the two in sync (the analysis
+/// cross-check test enforces agreement).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -1,0 +1,194 @@
+//===- ExecutionAnalysis.cpp - Memoized derived relations ---------------------==//
+
+#include "execution/ExecutionAnalysis.h"
+
+using namespace tmw;
+
+//===----------------------------------------------------------------------===
+// Event sets.
+//===----------------------------------------------------------------------===
+
+EventSet ExecutionAnalysis::reads() const {
+  return memo(C.Reads, [&] { return X->reads(); });
+}
+
+EventSet ExecutionAnalysis::writes() const {
+  return memo(C.Writes, [&] { return X->writes(); });
+}
+
+EventSet ExecutionAnalysis::fences() const {
+  return memo(C.Fences, [&] { return X->fences(); });
+}
+
+EventSet ExecutionAnalysis::accesses() const {
+  return memo(C.Accesses, [&] { return reads() | writes(); });
+}
+
+EventSet ExecutionAnalysis::fences(FenceKind K) const {
+  return memo(C.FencesOf[static_cast<unsigned>(K)],
+              [&] { return X->fences(K); });
+}
+
+EventSet ExecutionAnalysis::atomics() const {
+  return memo(C.Atomics, [&] { return X->atomics(); });
+}
+
+EventSet ExecutionAnalysis::acquires() const {
+  return memo(C.Acquires, [&] { return X->acquires(); });
+}
+
+EventSet ExecutionAnalysis::releases() const {
+  return memo(C.Releases, [&] { return X->releases(); });
+}
+
+EventSet ExecutionAnalysis::seqCst() const {
+  return memo(C.SeqCst, [&] { return X->seqCst(); });
+}
+
+EventSet ExecutionAnalysis::transactional() const {
+  return memo(C.Transactional, [&] { return X->transactional(); });
+}
+
+EventSet ExecutionAnalysis::atomicTransactional() const {
+  return memo(C.AtomicTransactional,
+              [&] { return X->atomicTransactional(); });
+}
+
+//===----------------------------------------------------------------------===
+// Derived relations. Definitions mirror Execution's uncached methods but
+// are built from already-memoized sub-terms wherever possible.
+//===----------------------------------------------------------------------===
+
+const Relation &ExecutionAnalysis::sloc() const {
+  return memo(C.Sloc, [&] { return X->sloc(); });
+}
+
+const Relation &ExecutionAnalysis::sameThread() const {
+  return memo(C.SameThread, [&] { return X->sameThread(); });
+}
+
+const Relation &ExecutionAnalysis::poLoc() const {
+  return memo(C.PoLoc, [&] { return X->Po & sloc(); });
+}
+
+const Relation &ExecutionAnalysis::poImm() const {
+  return memo(C.PoImm, [&] { return X->Po - X->Po.compose(X->Po); });
+}
+
+const Relation &ExecutionAnalysis::fr() const {
+  return memo(C.Fr, [&] {
+    Relation ReadsToWrites = sloc().restrictDomain(reads()).restrictRange(
+        writes());
+    Relation NotAfter = X->Rf.inverse().compose(
+        X->Co.inverse().reflexiveTransitiveClosure());
+    return ReadsToWrites - NotAfter;
+  });
+}
+
+const Relation &ExecutionAnalysis::com() const {
+  return memo(C.Com, [&] { return X->Rf | X->Co | fr(); });
+}
+
+const Relation &ExecutionAnalysis::ecom() const {
+  return memo(C.Ecom, [&] { return com() | X->Co.compose(X->Rf); });
+}
+
+const Relation &ExecutionAnalysis::rfe() const {
+  return memo(C.Rfe, [&] { return external(X->Rf); });
+}
+
+const Relation &ExecutionAnalysis::rfi() const {
+  return memo(C.Rfi, [&] { return internal(X->Rf); });
+}
+
+const Relation &ExecutionAnalysis::coe() const {
+  return memo(C.Coe, [&] { return external(X->Co); });
+}
+
+const Relation &ExecutionAnalysis::coi() const {
+  return memo(C.Coi, [&] { return internal(X->Co); });
+}
+
+const Relation &ExecutionAnalysis::fre() const {
+  return memo(C.Fre, [&] { return external(fr()); });
+}
+
+const Relation &ExecutionAnalysis::fri() const {
+  return memo(C.Fri, [&] { return internal(fr()); });
+}
+
+const Relation &ExecutionAnalysis::stxn() const {
+  return memo(C.Stxn, [&] { return X->stxn(); });
+}
+
+const Relation &ExecutionAnalysis::stxnAtomic() const {
+  return memo(C.StxnAtomic, [&] { return X->stxnAtomic(); });
+}
+
+const Relation &ExecutionAnalysis::tfence() const {
+  return memo(C.Tfence, [&] {
+    const Relation &S = stxn();
+    Relation NotS = S.complement();
+    return X->Po & (NotS.compose(S) | S.compose(NotS));
+  });
+}
+
+const Relation &ExecutionAnalysis::scr() const {
+  return memo(C.Scr, [&] { return X->scr(); });
+}
+
+const Relation &ExecutionAnalysis::scrt() const {
+  return memo(C.Scrt, [&] { return X->scrt(); });
+}
+
+const Relation &ExecutionAnalysis::fenceRel(FenceKind K) const {
+  return memo(C.FenceRels[static_cast<unsigned>(K)], [&] {
+    Relation Id = Relation::identityOn(fences(K), X->size());
+    return X->Po.compose(Id).compose(X->Po);
+  });
+}
+
+const Relation &ExecutionAnalysis::cppSynchronisesWith() const {
+  return memo(C.CppSw, [&] {
+    unsigned N = X->size();
+    EventSet W = writes(), R = reads(), F = fences();
+    EventSet Ato = atomics();
+
+    // Release sequence: rs = [W] ; poloc? ; [W n Ato] ; (rf ; rmw)*.
+    Relation Rs =
+        Relation::identityOn(W, N)
+            .compose(poLoc().optional())
+            .compose(Relation::identityOn(W & Ato, N))
+            .compose(
+                X->Rf.compose(X->Rmw).reflexiveTransitiveClosure());
+
+    // sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R n Ato] ; (po ; [F])? ; [Acq].
+    Relation IdF = Relation::identityOn(F, N);
+    Relation RelSide = Relation::identityOn(releases(), N)
+                           .compose(IdF.compose(X->Po).optional());
+    Relation AcqSide = X->Po.compose(IdF).optional().compose(
+        Relation::identityOn(acquires(), N));
+    return RelSide.compose(Rs)
+        .compose(X->Rf)
+        .compose(Relation::identityOn(R & Ato, N))
+        .compose(AcqSide);
+  });
+}
+
+const Relation &ExecutionAnalysis::cppTransactionalSw() const {
+  return memo(C.CppTsw, [&] { return weakLift(ecom(), stxn()); });
+}
+
+const Relation &ExecutionAnalysis::weakLiftComStxn() const {
+  return memo(C.WeakLiftComStxn, [&] { return weakLift(com(), stxn()); });
+}
+
+const Relation &ExecutionAnalysis::strongLiftComStxn() const {
+  return memo(C.StrongLiftComStxn,
+              [&] { return strongLift(com(), stxn()); });
+}
+
+const Relation &ExecutionAnalysis::strongLiftComStxnAtomic() const {
+  return memo(C.StrongLiftComStxnAtomic,
+              [&] { return strongLift(com(), stxnAtomic()); });
+}

@@ -1,0 +1,217 @@
+//===- ExecutionAnalysis.h - Memoized derived relations ---------*- C++ -*-==//
+///
+/// \file
+/// A lazily-memoized view of the derived relations and event sets of one
+/// *immutable* `Execution`. Every consistency axiom of §2.1/§3.1/§3.3 is
+/// phrased over the same handful of derived relations (`fr`, `com`,
+/// `stxn`, `tfence`, the fence relations, internal/external splits, ...);
+/// `MemoryModel::check` used to recompute each of them from scratch on
+/// every call, per model, per ablation. `ExecutionAnalysis` computes each
+/// term at most once per execution — the explicit-search counterpart of
+/// herd7 evaluating each `cat` definition once per candidate — so that the
+/// many models and ablation configurations evaluated on one candidate
+/// share all of the relational groundwork.
+///
+/// Contract:
+///  * The analysed `Execution` must stay unmodified and alive for the
+///    lifetime of the analysis (`reset()` retargets an arena-style
+///    instance onto a new execution and drops all cached state).
+///  * Copying an analysis *invalidates* the copy's caches: the copy
+///    re-derives on demand. This keeps copies cheap and means a copy taken
+///    mid-flight can never observe stale state.
+///  * An `ExecutionAnalysis` is not thread-safe: memoization mutates the
+///    cache under `const`. The sharded enumerator gives each shard its own
+///    analysis arena instead of sharing one.
+///
+/// `AnalysisCaching::Recompute` disables memoization (every accessor
+/// re-derives, exactly like the historical uncached `Execution` methods);
+/// it exists for the cached-vs-uncached benchmarks and the cross-check
+/// tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_EXECUTION_EXECUTIONANALYSIS_H
+#define TMW_EXECUTION_EXECUTIONANALYSIS_H
+
+#include "execution/Execution.h"
+
+namespace tmw {
+
+/// Number of `FenceKind` enumerators (index bound for per-flavour caches).
+inline constexpr unsigned kNumFenceKinds =
+    static_cast<unsigned>(FenceKind::CppFence) + 1;
+
+/// Memoization policy of an `ExecutionAnalysis`.
+enum class AnalysisCaching : uint8_t {
+  /// Compute each derived term at most once (the default).
+  Memoized,
+  /// Re-derive on every access — the uncached baseline behaviour.
+  Recompute,
+};
+
+/// Lazily computed, memoized derived relations and event sets of one
+/// immutable execution.
+class ExecutionAnalysis {
+public:
+  /// Intentionally implicit: `M.check(X)` with an `Execution` constructs a
+  /// temporary analysis, giving the pre-analysis API as a thin
+  /// compatibility layer (memoization then only spans that single call).
+  ExecutionAnalysis(const Execution &X,
+                    AnalysisCaching Mode = AnalysisCaching::Memoized)
+      : X(&X), Mode(Mode) {}
+
+  /// Copies retarget to the same execution but drop all cached state.
+  ExecutionAnalysis(const ExecutionAnalysis &O) : X(O.X), Mode(O.Mode) {}
+  ExecutionAnalysis &operator=(const ExecutionAnalysis &O) {
+    X = O.X;
+    Mode = O.Mode;
+    C = Caches();
+    Recomputes = 0;
+    return *this;
+  }
+
+  /// Retarget this analysis onto \p NewX, dropping all cached state. Lets
+  /// a per-shard arena serve many candidates without reallocation.
+  void reset(const Execution &NewX) {
+    X = &NewX;
+    C = Caches();
+    Recomputes = 0;
+  }
+
+  /// Drop only the caches that depend on the transaction labelling
+  /// (`Txn` / `AtomicTxns`): stxn, tfence, the lifted isolation terms, and
+  /// the transactional event sets. The enumerator's placement search
+  /// mutates exactly those fields of a fixed base execution, so a shard's
+  /// arena keeps `fr`/`com`/fence relations across all placements of one
+  /// base and invalidates just this slice per placement.
+  void invalidateTransactionalState() {
+    C.Stxn = {};
+    C.StxnAtomic = {};
+    C.Tfence = {};
+    C.CppTsw = {};
+    C.WeakLiftComStxn = {};
+    C.StrongLiftComStxn = {};
+    C.StrongLiftComStxnAtomic = {};
+    C.Transactional = {};
+    C.AtomicTransactional = {};
+  }
+
+  const Execution &execution() const { return *X; }
+  unsigned size() const { return X->size(); }
+  AnalysisCaching caching() const { return Mode; }
+  EventSet universe() const { return X->universe(); }
+
+  /// Number of derived-term computations performed so far (a memoized
+  /// accessor hit increments this only on its first call). Used by the
+  /// memoization unit tests and the bench reports.
+  uint64_t recomputeCount() const { return Recomputes; }
+
+  //===--------------------------------------------------------------------===
+  // Stored relations (pass-through to the execution).
+  //===--------------------------------------------------------------------===
+
+  const Relation &po() const { return X->Po; }
+  const Relation &rf() const { return X->Rf; }
+  const Relation &co() const { return X->Co; }
+  const Relation &addr() const { return X->Addr; }
+  const Relation &data() const { return X->Data; }
+  const Relation &ctrl() const { return X->Ctrl; }
+  const Relation &rmw() const { return X->Rmw; }
+
+  //===--------------------------------------------------------------------===
+  // Memoized event sets.
+  //===--------------------------------------------------------------------===
+
+  EventSet reads() const;
+  EventSet writes() const;
+  EventSet fences() const;
+  EventSet accesses() const;
+  EventSet fences(FenceKind K) const;
+  EventSet atomics() const;
+  EventSet acquires() const;
+  EventSet releases() const;
+  EventSet seqCst() const;
+  EventSet transactional() const;
+  EventSet atomicTransactional() const;
+
+  //===--------------------------------------------------------------------===
+  // Memoized derived relations (§2.1, §3.1, §3.3).
+  //===--------------------------------------------------------------------===
+
+  const Relation &sloc() const;
+  const Relation &sameThread() const;
+  const Relation &poLoc() const;
+  const Relation &poImm() const;
+  const Relation &fr() const;
+  const Relation &com() const;
+  const Relation &ecom() const;
+  const Relation &rfe() const;
+  const Relation &rfi() const;
+  const Relation &coe() const;
+  const Relation &coi() const;
+  const Relation &fre() const;
+  const Relation &fri() const;
+  const Relation &stxn() const;
+  const Relation &stxnAtomic() const;
+  const Relation &tfence() const;
+  const Relation &scr() const;
+  const Relation &scrt() const;
+
+  /// po ; [F_K] ; po, cached per fence flavour.
+  const Relation &fenceRel(FenceKind K) const;
+
+  /// RC11 synchronises-with (fences and release sequences included) — the
+  /// model-independent building block of the C++ model's happens-before.
+  const Relation &cppSynchronisesWith() const;
+  /// Transactional synchronisation (§7.2): weaklift(ecom, stxn).
+  const Relation &cppTransactionalSw() const;
+
+  /// Lifted isolation relations (§3.3): the weaklift/stronglift terms the
+  /// isolation axioms are phrased over.
+  const Relation &weakLiftComStxn() const;
+  const Relation &strongLiftComStxn() const;
+  const Relation &strongLiftComStxnAtomic() const;
+
+  /// Inter-/intra-thread restriction of an arbitrary relation (uses the
+  /// memoized sameThread).
+  Relation external(const Relation &R) const { return R - sameThread(); }
+  Relation internal(const Relation &R) const { return R & sameThread(); }
+
+private:
+  template <typename T> struct Slot {
+    T Value{};
+    bool Valid = false;
+  };
+
+  template <typename T, typename Fn>
+  const T &memo(Slot<T> &S, Fn &&Compute) const {
+    if (!S.Valid || Mode == AnalysisCaching::Recompute) {
+      S.Value = Compute();
+      S.Valid = true;
+      ++Recomputes;
+    }
+    return S.Value;
+  }
+
+  /// All cached state, value-resettable in one assignment.
+  struct Caches {
+    Slot<EventSet> Reads, Writes, Fences, Accesses, Atomics, Acquires,
+        Releases, SeqCst, Transactional, AtomicTransactional;
+    Slot<EventSet> FencesOf[kNumFenceKinds];
+    Slot<Relation> Sloc, SameThread, PoLoc, PoImm, Fr, Com, Ecom, Rfe, Rfi,
+        Coe, Coi, Fre, Fri, Stxn, StxnAtomic, Tfence, Scr, Scrt;
+    Slot<Relation> FenceRels[kNumFenceKinds];
+    Slot<Relation> CppSw, CppTsw;
+    Slot<Relation> WeakLiftComStxn, StrongLiftComStxn,
+        StrongLiftComStxnAtomic;
+  };
+
+  const Execution *X;
+  AnalysisCaching Mode;
+  mutable uint64_t Recomputes = 0;
+  mutable Caches C;
+};
+
+} // namespace tmw
+
+#endif // TMW_EXECUTION_EXECUTIONANALYSIS_H

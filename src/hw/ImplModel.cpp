@@ -8,11 +8,13 @@ ImplModel::ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
                      const char *Name)
     : Spec(std::move(Spec)), NoLoadBuffering(NoLoadBuffering), Label(Name) {}
 
-ConsistencyResult ImplModel::check(const Execution &X) const {
-  ConsistencyResult R = Spec->check(X);
+ConsistencyResult ImplModel::check(const ExecutionAnalysis &A) const {
+  // The spec model shares this analysis, so its derived relations are
+  // computed once across both layers.
+  ConsistencyResult R = Spec->check(A);
   if (!R.Consistent)
     return R;
-  if (NoLoadBuffering && !(X.Po | X.Rf).isAcyclic())
+  if (NoLoadBuffering && !(A.po() | A.rf()).isAcyclic())
     return ConsistencyResult::fail("NoLoadBuffering(impl)");
   return ConsistencyResult::ok();
 }

@@ -33,7 +33,7 @@ public:
 
   const char *name() const override { return Label; }
   Arch arch() const override { return Spec->arch(); }
-  ConsistencyResult check(const Execution &X) const override;
+  ConsistencyResult check(const ExecutionAnalysis &A) const override;
 
   /// A conservative POWER8-like machine: the Power+TM model with no load
   /// buffering.

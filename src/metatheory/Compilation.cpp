@@ -210,10 +210,13 @@ CompilationResult tmw::checkCompilation(Arch Target, unsigned NumEvents,
 
   auto TrySource = [&](Execution &X) {
     ++Res.Checked;
-    if (Cpp.consistent(X))
+    // One analysis for both C++ predicates: consistency and race-freedom
+    // share happens-before's building blocks and sloc.
+    ExecutionAnalysis AX(X);
+    if (Cpp.consistent(AX))
       return true;
     // Racy programs are undefined; the compiler owes them nothing.
-    if (!Cpp.raceFree(X))
+    if (!Cpp.raceFree(AX))
       return true;
     Execution Y = compileExecution(X, Target);
     if (TargetModel->consistent(Y)) {

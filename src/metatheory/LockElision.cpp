@@ -8,8 +8,8 @@
 
 using namespace tmw;
 
-bool tmw::holdsCrOrder(const Execution &X) {
-  return weakLift(X.Po | X.com(), X.scr()).isAcyclic();
+bool tmw::holdsCrOrder(const ExecutionAnalysis &A) {
+  return weakLift(A.po() | A.com(), A.scr()).isAcyclic();
 }
 
 Execution tmw::elideLocks(const Execution &Abstract, Arch A,
@@ -431,8 +431,10 @@ ElisionResult tmw::checkLockElision(const MemoryModel &TmModel,
       return false;
     ++Res.AbstractChecked;
     // Spec-forbidden: the architecture axioms hold (the behaviour is
-    // plausible) but critical regions fail to serialise.
-    if (!SpecModel.consistent(X) || holdsCrOrder(X))
+    // plausible) but critical regions fail to serialise. One analysis
+    // serves both predicates (they share com).
+    ExecutionAnalysis AX(X);
+    if (!SpecModel.consistent(AX) || holdsCrOrder(AX))
       return true;
     Execution Skeleton = elideLocks(X, A, FixedSpinlock);
     for (const Execution &Y : lockVarCompletions(Skeleton)) {

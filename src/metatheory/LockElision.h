@@ -32,8 +32,9 @@
 
 namespace tmw {
 
-/// CROrder (§8.3): acyclic(weaklift(po u com, scr)).
-bool holdsCrOrder(const Execution &X);
+/// CROrder (§8.3): acyclic(weaklift(po u com, scr)). Shares `com`/`scr`
+/// with any model check already performed on the same analysis.
+bool holdsCrOrder(const ExecutionAnalysis &A);
 
 /// Replace the lock method calls of \p Abstract with their implementation
 /// for \p A (Table 3). The lock variable's rf/co are left empty — use

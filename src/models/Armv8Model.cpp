@@ -10,73 +10,73 @@ const char *Armv8Model::name() const {
              : "ARMv8";
 }
 
-Relation Armv8Model::orderedBefore(const Execution &X) const {
-  unsigned N = X.size();
-  EventSet R = X.reads(), W = X.writes();
-  // A: acquire reads (LDAR/LDAXR); L: release writes (STLR).
-  EventSet A = X.acquires() & R;
-  EventSet L = X.releases() & W;
-  Relation IdA = Relation::identityOn(A, N);
+Relation Armv8Model::orderedBefore(const ExecutionAnalysis &A) const {
+  unsigned N = A.size();
+  EventSet R = A.reads(), W = A.writes();
+  // Acq: acquire reads (LDAR/LDAXR); L: release writes (STLR).
+  EventSet Acq = A.acquires() & R;
+  EventSet L = A.releases() & W;
+  Relation IdA = Relation::identityOn(Acq, N);
   Relation IdL = Relation::identityOn(L, N);
   Relation IdR = Relation::identityOn(R, N);
   Relation IdW = Relation::identityOn(W, N);
 
   // Observed-by: external communication.
-  Relation Obs = X.external(X.com());
+  Relation Obs = A.external(A.com());
 
   // Dependency-ordered-before.
-  Relation IsbId = Relation::identityOn(X.fences(FenceKind::Isb), N);
+  Relation IsbId = Relation::identityOn(A.fences(FenceKind::Isb), N);
   Relation IsbBefore =
-      (X.Ctrl | X.Addr.compose(X.Po)).compose(IsbId).compose(X.Po).compose(
-          IdR);
-  Relation Dob = X.Addr | X.Data;
-  Dob |= X.Ctrl.compose(IdW);
+      (A.ctrl() | A.addr().compose(A.po())).compose(IsbId).compose(A.po())
+          .compose(IdR);
+  Relation Dob = A.addr() | A.data();
+  Dob |= A.ctrl().compose(IdW);
   Dob |= IsbBefore;
-  Dob |= X.Addr.compose(X.Po).compose(IdW);
-  Dob |= (X.Ctrl | X.Data).compose(X.coi());
-  Dob |= (X.Addr | X.Data).compose(X.rfi());
+  Dob |= A.addr().compose(A.po()).compose(IdW);
+  Dob |= (A.ctrl() | A.data()).compose(A.coi());
+  Dob |= (A.addr() | A.data()).compose(A.rfi());
 
   // Atomic-ordered-before.
-  Relation Aob = X.Rmw;
-  Aob |= Relation::identityOn(X.Rmw.range(), N).compose(X.rfi()).compose(IdA);
+  Relation Aob = A.rmw();
+  Aob |= Relation::identityOn(A.rmw().range(), N).compose(A.rfi())
+             .compose(IdA);
 
   // Barrier-ordered-before.
-  Relation DmbId = Relation::identityOn(X.fences(FenceKind::Dmb), N);
-  Relation DmbLdId = Relation::identityOn(X.fences(FenceKind::DmbLd), N);
-  Relation DmbStId = Relation::identityOn(X.fences(FenceKind::DmbSt), N);
-  Relation Bob = X.Po.compose(DmbId).compose(X.Po);
-  Bob |= IdL.compose(X.Po).compose(IdA);
-  Bob |= IdR.compose(X.Po).compose(DmbLdId).compose(X.Po);
-  Bob |= IdA.compose(X.Po);
-  Bob |= IdW.compose(X.Po).compose(DmbStId).compose(X.Po).compose(IdW);
-  Bob |= X.Po.compose(IdL);
-  Bob |= X.Po.compose(IdL).compose(X.coi());
+  Relation DmbId = Relation::identityOn(A.fences(FenceKind::Dmb), N);
+  Relation DmbLdId = Relation::identityOn(A.fences(FenceKind::DmbLd), N);
+  Relation DmbStId = Relation::identityOn(A.fences(FenceKind::DmbSt), N);
+  Relation Bob = A.po().compose(DmbId).compose(A.po());
+  Bob |= IdL.compose(A.po()).compose(IdA);
+  Bob |= IdR.compose(A.po()).compose(DmbLdId).compose(A.po());
+  Bob |= IdA.compose(A.po());
+  Bob |= IdW.compose(A.po()).compose(DmbStId).compose(A.po()).compose(IdW);
+  Bob |= A.po().compose(IdL);
+  Bob |= A.po().compose(IdL).compose(A.coi());
 
   Relation Ob = Obs | Dob | Aob | Bob;
   if (Cfg.Tfence)
-    Ob |= X.tfence();
+    Ob |= A.tfence();
   return Ob;
 }
 
-ConsistencyResult Armv8Model::check(const Execution &X) const {
-  Relation Com = X.com();
-  if (!(X.poLoc() | Com).isAcyclic())
+ConsistencyResult Armv8Model::check(const ExecutionAnalysis &A) const {
+  const Relation &Com = A.com();
+  if (!(A.poLoc() | Com).isAcyclic())
     return ConsistencyResult::fail("Coherence");
 
-  Relation Ob = orderedBefore(X);
+  Relation Ob = orderedBefore(A);
   if (!Ob.isAcyclic())
     return ConsistencyResult::fail("Order");
 
-  if (!(X.Rmw & X.fre().compose(X.coe())).isEmpty())
+  if (!(A.rmw() & A.fre().compose(A.coe())).isEmpty())
     return ConsistencyResult::fail("RMWIsol");
 
-  Relation Stxn = X.stxn();
-  if (Cfg.StrongIsol && !strongLift(Com, Stxn).isAcyclic())
+  if (Cfg.StrongIsol && !A.strongLiftComStxn().isAcyclic())
     return ConsistencyResult::fail("StrongIsol");
-  if (Cfg.TxnOrder && !strongLift(Ob, Stxn).isAcyclic())
+  if (Cfg.TxnOrder && !strongLift(Ob, A.stxn()).isAcyclic())
     return ConsistencyResult::fail("TxnOrder");
   if (Cfg.TxnCancelsRmw &&
-      !(X.Rmw & X.tfence().transitiveClosure()).isEmpty())
+      !(A.rmw() & A.tfence().transitiveClosure()).isEmpty())
     return ConsistencyResult::fail("TxnCancelsRMW");
 
   return ConsistencyResult::ok();

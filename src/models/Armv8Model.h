@@ -35,10 +35,10 @@ public:
 
   const char *name() const override;
   Arch arch() const override { return Arch::Armv8; }
-  ConsistencyResult check(const Execution &X) const override;
+  ConsistencyResult check(const ExecutionAnalysis &A) const override;
 
   /// The ordered-before relation (ob) of Fig. 8 under this configuration.
-  Relation orderedBefore(const Execution &X) const;
+  Relation orderedBefore(const ExecutionAnalysis &A) const;
 
   const Config &config() const { return Cfg; }
 

@@ -6,56 +6,37 @@ using namespace tmw;
 
 const char *CppModel::name() const { return Cfg.Tsw ? "C+++TM" : "C++"; }
 
-Relation CppModel::synchronisesWith(const Execution &X) const {
-  unsigned N = X.size();
-  EventSet W = X.writes(), R = X.reads(), F = X.fences();
-  EventSet Ato = X.atomics();
-
-  // Release sequence: rs = [W] ; poloc? ; [W n Ato] ; (rf ; rmw)*.
-  Relation Rs = Relation::identityOn(W, N)
-                    .compose(X.poLoc().optional())
-                    .compose(Relation::identityOn(W & Ato, N))
-                    .compose(X.Rf.compose(X.Rmw).reflexiveTransitiveClosure());
-
-  // sw = [Rel] ; ([F] ; po)? ; rs ; rf ; [R n Ato] ; (po ; [F])? ; [Acq].
-  Relation IdF = Relation::identityOn(F, N);
-  Relation RelSide = Relation::identityOn(X.releases(), N)
-                         .compose(IdF.compose(X.Po).optional());
-  Relation AcqSide = X.Po.compose(IdF).optional().compose(
-      Relation::identityOn(X.acquires(), N));
-  return RelSide.compose(Rs)
-      .compose(X.Rf)
-      .compose(Relation::identityOn(R & Ato, N))
-      .compose(AcqSide);
+Relation CppModel::synchronisesWith(const ExecutionAnalysis &A) const {
+  return A.cppSynchronisesWith();
 }
 
-Relation CppModel::transactionalSw(const Execution &X) const {
-  return weakLift(X.ecom(), X.stxn());
+Relation CppModel::transactionalSw(const ExecutionAnalysis &A) const {
+  return A.cppTransactionalSw();
 }
 
-Relation CppModel::happensBefore(const Execution &X) const {
-  Relation Sw = synchronisesWith(X);
+Relation CppModel::happensBefore(const ExecutionAnalysis &A) const {
+  Relation Sw = A.cppSynchronisesWith();
   if (Cfg.Tsw)
-    Sw |= transactionalSw(X);
-  return (Sw | X.Po).transitiveClosure();
+    Sw |= A.cppTransactionalSw();
+  return (Sw | A.po()).transitiveClosure();
 }
 
-Relation CppModel::psc(const Execution &X) const {
-  unsigned N = X.size();
-  Relation Hb = happensBefore(X);
+Relation CppModel::pscFrom(const ExecutionAnalysis &A,
+                           const Relation &Hb) const {
+  unsigned N = A.size();
   Relation HbOpt = Hb.optional();
-  Relation Eco = X.com().transitiveClosure();
-  Relation Sloc = X.sloc();
+  Relation Eco = A.com().transitiveClosure();
+  const Relation &Sloc = A.sloc();
 
-  EventSet Sc = X.seqCst();
-  EventSet Fsc = Sc & X.fences();
+  EventSet Sc = A.seqCst();
+  EventSet Fsc = Sc & A.fences();
   Relation IdSc = Relation::identityOn(Sc, N);
   Relation IdFsc = Relation::identityOn(Fsc, N);
 
   // scb = po u (po \ sloc ; hb ; po \ sloc) u (hb n sloc) u co u fr.
-  Relation PoNonLoc = X.Po - Sloc;
-  Relation Scb = X.Po | PoNonLoc.compose(Hb).compose(PoNonLoc) |
-                 (Hb & Sloc) | X.Co | X.fr();
+  Relation PoNonLoc = A.po() - Sloc;
+  Relation Scb = A.po() | PoNonLoc.compose(Hb).compose(PoNonLoc) |
+                 (Hb & Sloc) | A.co() | A.fr();
 
   Relation Left = IdSc | IdFsc.compose(HbOpt);
   Relation Right = IdSc | HbOpt.compose(IdFsc);
@@ -65,38 +46,42 @@ Relation CppModel::psc(const Execution &X) const {
   return PscBase | PscF;
 }
 
-Relation CppModel::conflicts(const Execution &X) const {
-  unsigned N = X.size();
-  EventSet W = X.writes(), R = X.reads();
-  Relation Cnf = (Relation::cross(W, W, N) | Relation::cross(R, W, N) |
-                  Relation::cross(W, R, N)) &
-                 X.sloc();
-  return Cnf - Relation::identityOn(X.universe(), N);
+Relation CppModel::psc(const ExecutionAnalysis &A) const {
+  return pscFrom(A, happensBefore(A));
 }
 
-bool CppModel::raceFree(const Execution &X) const {
-  unsigned N = X.size();
-  EventSet Ato = X.atomics();
-  Relation Hb = happensBefore(X);
-  Relation Races = conflicts(X) - Relation::cross(Ato, Ato, N) -
+Relation CppModel::conflicts(const ExecutionAnalysis &A) const {
+  unsigned N = A.size();
+  EventSet W = A.writes(), R = A.reads();
+  Relation Cnf = (Relation::cross(W, W, N) | Relation::cross(R, W, N) |
+                  Relation::cross(W, R, N)) &
+                 A.sloc();
+  return Cnf - Relation::identityOn(A.universe(), N);
+}
+
+bool CppModel::raceFree(const ExecutionAnalysis &A) const {
+  unsigned N = A.size();
+  EventSet Ato = A.atomics();
+  Relation Hb = happensBefore(A);
+  Relation Races = conflicts(A) - Relation::cross(Ato, Ato, N) -
                    (Hb | Hb.inverse());
   return Races.isEmpty();
 }
 
-ConsistencyResult CppModel::check(const Execution &X) const {
-  Relation Hb = happensBefore(X);
-  Relation Com = X.com();
+ConsistencyResult CppModel::check(const ExecutionAnalysis &A) const {
+  Relation Hb = happensBefore(A);
+  const Relation &Com = A.com();
 
   if (!Hb.compose(Com.reflexiveTransitiveClosure()).isIrreflexive())
     return ConsistencyResult::fail("HbCom");
 
-  if (!(X.Rmw & X.fre().compose(X.coe())).isEmpty())
+  if (!(A.rmw() & A.fre().compose(A.coe())).isEmpty())
     return ConsistencyResult::fail("RMWIsol");
 
-  if (!(X.Po | X.Rf).isAcyclic())
+  if (!(A.po() | A.rf()).isAcyclic())
     return ConsistencyResult::fail("NoThinAir");
 
-  if (!psc(X).isAcyclic())
+  if (!pscFrom(A, Hb).isAcyclic())
     return ConsistencyResult::fail("SeqCst");
 
   return ConsistencyResult::ok();

@@ -34,25 +34,29 @@ public:
 
   const char *name() const override;
   Arch arch() const override { return Arch::Cpp; }
-  ConsistencyResult check(const Execution &X) const override;
+  ConsistencyResult check(const ExecutionAnalysis &A) const override;
 
   /// Happens-before: (sw u tsw u po)+.
-  Relation happensBefore(const Execution &X) const;
+  Relation happensBefore(const ExecutionAnalysis &A) const;
   /// Synchronises-with (RC11, including fences and release sequences).
-  Relation synchronisesWith(const Execution &X) const;
+  Relation synchronisesWith(const ExecutionAnalysis &A) const;
   /// Transactional synchronisation (§7.2): weaklift(ecom, stxn).
-  Relation transactionalSw(const Execution &X) const;
+  Relation transactionalSw(const ExecutionAnalysis &A) const;
   /// Partial-SC relation psc (RC11) whose acyclicity is the SeqCst axiom.
-  Relation psc(const Execution &X) const;
+  Relation psc(const ExecutionAnalysis &A) const;
   /// Conflicting event pairs (cnf in Fig. 9).
-  Relation conflicts(const Execution &X) const;
+  Relation conflicts(const ExecutionAnalysis &A) const;
 
   /// NoRace: conflicting non-atomic-pair events must be hb-ordered.
-  bool raceFree(const Execution &X) const;
+  bool raceFree(const ExecutionAnalysis &A) const;
 
   const Config &config() const { return Cfg; }
 
 private:
+  /// psc with an already-computed happens-before (check() derives hb once
+  /// and shares it between the HbCom and SeqCst axioms).
+  Relation pscFrom(const ExecutionAnalysis &A, const Relation &Hb) const;
+
   Config Cfg;
 };
 

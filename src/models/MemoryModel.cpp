@@ -24,14 +24,14 @@ const char *tmw::archName(Arch A) {
   return "?";
 }
 
-bool tmw::holdsWeakIsolation(const Execution &X) {
-  return weakLift(X.com(), X.stxn()).isAcyclic();
+bool tmw::holdsWeakIsolation(const ExecutionAnalysis &A) {
+  return A.weakLiftComStxn().isAcyclic();
 }
 
-bool tmw::holdsStrongIsolation(const Execution &X) {
-  return strongLift(X.com(), X.stxn()).isAcyclic();
+bool tmw::holdsStrongIsolation(const ExecutionAnalysis &A) {
+  return A.strongLiftComStxn().isAcyclic();
 }
 
-bool tmw::holdsStrongIsolationAtomic(const Execution &X) {
-  return strongLift(X.com(), X.stxnAtomic()).isAcyclic();
+bool tmw::holdsStrongIsolationAtomic(const ExecutionAnalysis &A) {
+  return A.strongLiftComStxnAtomic().isAcyclic();
 }

@@ -7,12 +7,18 @@
 /// (ARMv8), and Fig. 9 (C++), each with per-axiom ablation toggles so the
 /// non-transactional baselines and the §9 comparisons are the same code.
 ///
+/// Checks are phrased over an `ExecutionAnalysis`, the memoized view of an
+/// immutable execution: evaluating several models (or several ablation
+/// configurations) on one candidate shares every derived relation. An
+/// `Execution` converts implicitly to a temporary single-check analysis,
+/// so `M.check(X)` / `M.consistent(X)` keep working as before.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_MODELS_MEMORYMODEL_H
 #define TMW_MODELS_MEMORYMODEL_H
 
-#include "execution/Execution.h"
+#include "execution/ExecutionAnalysis.h"
 
 namespace tmw {
 
@@ -41,18 +47,22 @@ public:
 
   virtual const char *name() const = 0;
   virtual Arch arch() const = 0;
-  /// Evaluate the consistency axioms on \p X.
-  virtual ConsistencyResult check(const Execution &X) const = 0;
+  /// Evaluate the consistency axioms over \p A. Checks are stateless: all
+  /// mutable caching lives in the analysis, so a const model is safe to
+  /// share across enumeration shards (each with its own analysis).
+  virtual ConsistencyResult check(const ExecutionAnalysis &A) const = 0;
 
-  bool consistent(const Execution &X) const { return check(X).Consistent; }
+  bool consistent(const ExecutionAnalysis &A) const {
+    return check(A).Consistent;
+  }
 };
 
 /// WeakIsol (§3.3): acyclic(weaklift(com, stxn)).
-bool holdsWeakIsolation(const Execution &X);
+bool holdsWeakIsolation(const ExecutionAnalysis &A);
 /// StrongIsol (§3.3): acyclic(stronglift(com, stxn)).
-bool holdsStrongIsolation(const Execution &X);
+bool holdsStrongIsolation(const ExecutionAnalysis &A);
 /// StrongIsol restricted to atomic transactions (Theorem 7.2's conclusion).
-bool holdsStrongIsolationAtomic(const Execution &X);
+bool holdsStrongIsolationAtomic(const ExecutionAnalysis &A);
 
 } // namespace tmw
 

@@ -11,22 +11,22 @@ const char *PowerModel::name() const {
              : "Power";
 }
 
-Relation PowerModel::preservedProgramOrder(const Execution &X) const {
-  unsigned N = X.size();
-  EventSet R = X.reads(), W = X.writes();
+Relation PowerModel::preservedProgramOrder(const ExecutionAnalysis &A) const {
+  unsigned N = A.size();
+  EventSet R = A.reads(), W = A.writes();
 
-  Relation Dd = X.Addr | X.Data;
-  Relation PoLoc = X.poLoc();
+  Relation Dd = A.addr() | A.data();
+  const Relation &PoLoc = A.poLoc();
   // Read-different-writes and detour shapes (same-location refinements).
-  Relation Rdw = PoLoc & X.fre().compose(X.rfe());
-  Relation Detour = PoLoc & X.coe().compose(X.rfe());
+  Relation Rdw = PoLoc & A.fre().compose(A.rfe());
+  Relation Detour = PoLoc & A.coe().compose(A.rfe());
   // ctrl+isync: control dependency with an isync before the target.
-  Relation CtrlIsync = X.Ctrl & X.fenceRel(FenceKind::ISync);
+  Relation CtrlIsync = A.ctrl() & A.fenceRel(FenceKind::ISync);
 
-  Relation Ii0 = Dd | X.rfi() | Rdw;
+  Relation Ii0 = Dd | A.rfi() | Rdw;
   Relation Ci0 = CtrlIsync | Detour;
   Relation Ic0(N);
-  Relation Cc0 = Dd | PoLoc | X.Ctrl | X.Addr.compose(X.Po);
+  Relation Cc0 = Dd | PoLoc | A.ctrl() | A.addr().compose(A.po());
 
   // Least fixpoint of the mutually recursive ii/ci/ic/cc definitions.
   Relation Ii = Ii0, Ci = Ci0, Ic = Ic0, Cc = Cc0;
@@ -46,57 +46,57 @@ Relation PowerModel::preservedProgramOrder(const Execution &X) const {
   return (Ii & Relation::cross(R, R, N)) | (Ic & Relation::cross(R, W, N));
 }
 
-Relation PowerModel::happensBefore(const Execution &X) const {
-  unsigned N = X.size();
-  EventSet R = X.reads(), W = X.writes();
+Relation PowerModel::happensBefore(const ExecutionAnalysis &A) const {
+  unsigned N = A.size();
+  EventSet R = A.reads(), W = A.writes();
 
-  Relation Sync = X.fenceRel(FenceKind::Sync);
+  const Relation &Sync = A.fenceRel(FenceKind::Sync);
   Relation LwSync =
-      X.fenceRel(FenceKind::LwSync) - Relation::cross(W, R, N);
+      A.fenceRel(FenceKind::LwSync) - Relation::cross(W, R, N);
   Relation Fence = Sync | LwSync;
   if (Cfg.Tfence)
-    Fence |= X.tfence();
+    Fence |= A.tfence();
 
-  Relation Ihb = preservedProgramOrder(X) | Fence;
-  Relation Rfe = X.rfe();
+  Relation Ihb = preservedProgramOrder(A) | Fence;
+  const Relation &Rfe = A.rfe();
   Relation Hb = Rfe.optional().compose(Ihb).compose(Rfe.optional());
 
   if (Cfg.Thb) {
     // thb = (rfe u ((fre u coe)* ; ihb))* ; (fre u coe)* ; rfe?
-    Relation FreCoe = (X.fre() | X.coe()).reflexiveTransitiveClosure();
+    Relation FreCoe = (A.fre() | A.coe()).reflexiveTransitiveClosure();
     Relation Chain =
         (Rfe | FreCoe.compose(Ihb)).reflexiveTransitiveClosure();
     Relation Thb = Chain.compose(FreCoe).compose(Rfe.optional());
-    Hb |= weakLift(Thb, X.stxn());
+    Hb |= weakLift(Thb, A.stxn());
   }
   return Hb;
 }
 
-ConsistencyResult PowerModel::check(const Execution &X) const {
-  unsigned N = X.size();
-  Relation Com = X.com();
-  if (!(X.poLoc() | Com).isAcyclic())
+ConsistencyResult PowerModel::check(const ExecutionAnalysis &A) const {
+  unsigned N = A.size();
+  const Relation &Com = A.com();
+  if (!(A.poLoc() | Com).isAcyclic())
     return ConsistencyResult::fail("Coherence");
 
-  if (!(X.Rmw & X.fre().compose(X.coe())).isEmpty())
+  if (!(A.rmw() & A.fre().compose(A.coe())).isEmpty())
     return ConsistencyResult::fail("RMWIsol");
 
-  EventSet W = X.writes(), Rd = X.reads();
-  Relation Sync = X.fenceRel(FenceKind::Sync);
+  EventSet W = A.writes(), Rd = A.reads();
+  const Relation &Sync = A.fenceRel(FenceKind::Sync);
   Relation LwSync =
-      X.fenceRel(FenceKind::LwSync) - Relation::cross(W, Rd, N);
-  Relation Tfence = X.tfence();
+      A.fenceRel(FenceKind::LwSync) - Relation::cross(W, Rd, N);
+  const Relation &Tfence = A.tfence();
   Relation Fence = Sync | LwSync;
   if (Cfg.Tfence)
     Fence |= Tfence;
 
-  Relation Hb = happensBefore(X);
+  Relation Hb = happensBefore(A);
   if (!Hb.isAcyclic())
     return ConsistencyResult::fail("Order");
 
   Relation HbStar = Hb.reflexiveTransitiveClosure();
-  Relation Rfe = X.rfe();
-  Relation Stxn = X.stxn();
+  const Relation &Rfe = A.rfe();
+  const Relation &Stxn = A.stxn();
   Relation IdW = Relation::identityOn(W, N);
 
   // prop: how fences constrain the order in which writes propagate.
@@ -105,7 +105,7 @@ ConsistencyResult PowerModel::check(const Execution &X) const {
   Relation SyncLike = Sync;
   if (Cfg.Tfence)
     SyncLike |= Tfence;
-  Relation Prop2 = X.external(Com)
+  Relation Prop2 = A.external(Com)
                        .reflexiveTransitiveClosure()
                        .compose(Efence.reflexiveTransitiveClosure())
                        .compose(HbStar)
@@ -117,17 +117,17 @@ ConsistencyResult PowerModel::check(const Execution &X) const {
   if (Cfg.TProp2)
     Prop |= Stxn.compose(Rfe);
 
-  if (!(X.Co | Prop).isAcyclic())
+  if (!(A.co() | Prop).isAcyclic())
     return ConsistencyResult::fail("Propagation");
 
-  if (!X.fre().compose(Prop).compose(HbStar).isIrreflexive())
+  if (!A.fre().compose(Prop).compose(HbStar).isIrreflexive())
     return ConsistencyResult::fail("Observation");
 
-  if (Cfg.StrongIsol && !strongLift(Com, Stxn).isAcyclic())
+  if (Cfg.StrongIsol && !A.strongLiftComStxn().isAcyclic())
     return ConsistencyResult::fail("StrongIsol");
   if (Cfg.TxnOrder && !strongLift(Hb, Stxn).isAcyclic())
     return ConsistencyResult::fail("TxnOrder");
-  if (Cfg.TxnCancelsRmw && !(X.Rmw & Tfence.transitiveClosure()).isEmpty())
+  if (Cfg.TxnCancelsRmw && !(A.rmw() & Tfence.transitiveClosure()).isEmpty())
     return ConsistencyResult::fail("TxnCancelsRMW");
 
   return ConsistencyResult::ok();

@@ -47,12 +47,12 @@ public:
 
   const char *name() const override;
   Arch arch() const override { return Arch::Power; }
-  ConsistencyResult check(const Execution &X) const override;
+  ConsistencyResult check(const ExecutionAnalysis &A) const override;
 
   /// Preserved program order (the herding-cats ii/ic/ci/cc fixpoint).
-  Relation preservedProgramOrder(const Execution &X) const;
+  Relation preservedProgramOrder(const ExecutionAnalysis &A) const;
   /// The happens-before relation of Fig. 6 under this configuration.
-  Relation happensBefore(const Execution &X) const;
+  Relation happensBefore(const ExecutionAnalysis &A) const;
 
   const Config &config() const { return Cfg; }
 

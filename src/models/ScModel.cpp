@@ -4,18 +4,18 @@
 
 using namespace tmw;
 
-ConsistencyResult ScModel::check(const Execution &X) const {
-  Relation Hb = X.Po | X.com();
+ConsistencyResult ScModel::check(const ExecutionAnalysis &A) const {
+  Relation Hb = A.po() | A.com();
   if (!Hb.isAcyclic())
     return ConsistencyResult::fail("Order");
   return ConsistencyResult::ok();
 }
 
-ConsistencyResult TscModel::check(const Execution &X) const {
-  Relation Hb = X.Po | X.com();
+ConsistencyResult TscModel::check(const ExecutionAnalysis &A) const {
+  Relation Hb = A.po() | A.com();
   if (!Hb.isAcyclic())
     return ConsistencyResult::fail("Order");
-  if (!strongLift(Hb, X.stxn()).isAcyclic())
+  if (!strongLift(Hb, A.stxn()).isAcyclic())
     return ConsistencyResult::fail("TxnOrder");
   return ConsistencyResult::ok();
 }

@@ -20,7 +20,7 @@ class ScModel : public MemoryModel {
 public:
   const char *name() const override { return "SC"; }
   Arch arch() const override { return Arch::SC; }
-  ConsistencyResult check(const Execution &X) const override;
+  ConsistencyResult check(const ExecutionAnalysis &A) const override;
 };
 
 /// Transactional SC (Fig. 4 with TxnOrder).
@@ -28,7 +28,7 @@ class TscModel : public MemoryModel {
 public:
   const char *name() const override { return "TSC"; }
   Arch arch() const override { return Arch::TSC; }
-  ConsistencyResult check(const Execution &X) const override;
+  ConsistencyResult check(const ExecutionAnalysis &A) const override;
 };
 
 } // namespace tmw

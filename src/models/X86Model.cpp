@@ -8,42 +8,41 @@ const char *X86Model::name() const {
   return (Cfg.Tfence || Cfg.StrongIsol || Cfg.TxnOrder) ? "x86+TM" : "x86";
 }
 
-Relation X86Model::happensBefore(const Execution &X) const {
-  unsigned N = X.size();
-  EventSet R = X.reads(), W = X.writes();
+Relation X86Model::happensBefore(const ExecutionAnalysis &A) const {
+  unsigned N = A.size();
+  EventSet R = A.reads(), W = A.writes();
 
   // ppo = ((W x W) u (R x W) u (R x R)) n po: TSO relaxes only W->R.
   Relation Ppo = (Relation::cross(W, W, N) | Relation::cross(R, W, N) |
                   Relation::cross(R, R, N)) &
-                 X.Po;
+                 A.po();
 
   // implied = [L] ; po  u  po ; [L]  u  tfence, L the locked RMW events.
-  EventSet Locked = X.Rmw.domain() | X.Rmw.range();
+  EventSet Locked = A.rmw().domain() | A.rmw().range();
   Relation LockedId = Relation::identityOn(Locked, N);
-  Relation Implied = LockedId.compose(X.Po) | X.Po.compose(LockedId);
+  Relation Implied = LockedId.compose(A.po()) | A.po().compose(LockedId);
   if (Cfg.Tfence)
-    Implied |= X.tfence();
+    Implied |= A.tfence();
 
-  return X.fenceRel(FenceKind::MFence) | Ppo | Implied | X.rfe() | X.fr() |
-         X.Co;
+  return A.fenceRel(FenceKind::MFence) | Ppo | Implied | A.rfe() | A.fr() |
+         A.co();
 }
 
-ConsistencyResult X86Model::check(const Execution &X) const {
-  Relation Com = X.com();
-  if (!(X.poLoc() | Com).isAcyclic())
+ConsistencyResult X86Model::check(const ExecutionAnalysis &A) const {
+  const Relation &Com = A.com();
+  if (!(A.poLoc() | Com).isAcyclic())
     return ConsistencyResult::fail("Coherence");
 
-  if (!(X.Rmw & X.fre().compose(X.coe())).isEmpty())
+  if (!(A.rmw() & A.fre().compose(A.coe())).isEmpty())
     return ConsistencyResult::fail("RMWIsol");
 
-  Relation Hb = happensBefore(X);
+  Relation Hb = happensBefore(A);
   if (!Hb.isAcyclic())
     return ConsistencyResult::fail("Order");
 
-  Relation Stxn = X.stxn();
-  if (Cfg.StrongIsol && !strongLift(Com, Stxn).isAcyclic())
+  if (Cfg.StrongIsol && !A.strongLiftComStxn().isAcyclic())
     return ConsistencyResult::fail("StrongIsol");
-  if (Cfg.TxnOrder && !strongLift(Hb, Stxn).isAcyclic())
+  if (Cfg.TxnOrder && !strongLift(Hb, A.stxn()).isAcyclic())
     return ConsistencyResult::fail("TxnOrder");
 
   return ConsistencyResult::ok();

@@ -36,10 +36,10 @@ public:
 
   const char *name() const override;
   Arch arch() const override { return Arch::X86; }
-  ConsistencyResult check(const Execution &X) const override;
+  ConsistencyResult check(const ExecutionAnalysis &A) const override;
 
   /// The happens-before relation of Fig. 5 under this configuration.
-  Relation happensBefore(const Execution &X) const;
+  Relation happensBefore(const ExecutionAnalysis &A) const;
 
   const Config &config() const { return Cfg; }
 

@@ -3,6 +3,8 @@
 #include "synth/Conformance.h"
 
 #include <chrono>
+#include <optional>
+#include <thread>
 #include <unordered_set>
 
 using namespace tmw;
@@ -15,43 +17,110 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
+/// Result of one enumeration shard, merged by the caller.
+struct ShardResult {
+  bool Finished = true;
+  uint64_t BasesVisited = 0, PlacementsVisited = 0;
+  std::vector<Execution> Tests;
+  std::vector<uint64_t> Hashes;
+  std::vector<double> FoundAtSeconds;
+};
+
+/// Run one shard of the Forbid search. Each shard owns its enumeration
+/// buffer and analysis arena; the models are const and stateless, so
+/// sharing them across shards is safe.
+ShardResult runForbidShard(const MemoryModel &TmModel,
+                           const MemoryModel &Baseline, const Vocabulary &V,
+                           unsigned NumEvents, double BudgetSeconds,
+                           unsigned Shard, unsigned NumShards,
+                           std::chrono::steady_clock::time_point Start) {
+  ShardResult Res;
+  // Shard-local dedup; the final cross-shard merge dedups again.
+  std::unordered_set<uint64_t> Seen;
+  // The arena is retargeted per base and transaction-invalidated per
+  // placement, so base-derived relations (fr, com, fences, ...) are
+  // computed once per base and shared by every placement over it.
+  std::optional<ExecutionAnalysis> Arena;
+
+  ExecutionEnumerator Enum(V, NumEvents);
+  Res.Finished = Enum.forEachBaseSharded(Shard, NumShards, [&](Execution
+                                                                   &Base) {
+    ++Res.BasesVisited;
+    if ((Res.BasesVisited & 0x3ff) == 0 &&
+        secondsSince(Start) > BudgetSeconds)
+      return false;
+    if (!Arena)
+      Arena.emplace(Base);
+    else
+      Arena->reset(Base);
+    // Forbid tests are consistent under the baseline; the baseline ignores
+    // transactions, so this prunes before any placement is tried.
+    if (!Baseline.consistent(*Arena))
+      return true;
+    return Enum.forEachTxnPlacement(Base, [&](Execution &X) {
+      ++Res.PlacementsVisited;
+      Arena->invalidateTransactionalState();
+      if (TmModel.consistent(*Arena))
+        return true;
+      if (!isMinimallyInconsistent(*Arena, TmModel, V))
+        return true;
+      uint64_t H = canonicalHash(X);
+      if (Seen.insert(H).second) {
+        Res.Tests.push_back(X);
+        Res.Hashes.push_back(H);
+        Res.FoundAtSeconds.push_back(secondsSince(Start));
+      }
+      return true;
+    });
+  });
+  return Res;
+}
+
 } // namespace
 
 ForbidSuite tmw::synthesizeForbid(const MemoryModel &TmModel,
                                   const MemoryModel &Baseline,
                                   const Vocabulary &V, unsigned NumEvents,
-                                  double BudgetSeconds) {
+                                  double BudgetSeconds, unsigned Jobs) {
   ForbidSuite Suite;
   Suite.NumEvents = NumEvents;
   auto Start = std::chrono::steady_clock::now();
+
+  // There are only NumEvents distinct first skeleton decisions; extra
+  // shards would be empty.
+  unsigned NumShards = std::max(1u, std::min(Jobs, NumEvents));
+  std::vector<ShardResult> Shards(NumShards);
+  if (NumShards == 1) {
+    Shards[0] = runForbidShard(TmModel, Baseline, V, NumEvents,
+                               BudgetSeconds, 0, 1, Start);
+  } else {
+    std::vector<std::thread> Workers;
+    Workers.reserve(NumShards);
+    for (unsigned S = 0; S < NumShards; ++S)
+      Workers.emplace_back([&, S] {
+        Shards[S] = runForbidShard(TmModel, Baseline, V, NumEvents,
+                                   BudgetSeconds, S, NumShards, Start);
+      });
+    for (std::thread &W : Workers)
+      W.join();
+  }
+
+  // Merge: concatenate in shard order, deduplicating across shards (two
+  // shards can find symmetry-equivalent tests with equal canonical
+  // hashes). The resulting set is shard-count-independent; the surviving
+  // representative of each canonical class follows shard order.
   std::unordered_set<uint64_t> Seen;
-
-  ExecutionEnumerator Enum(V, NumEvents);
-  bool Finished = Enum.forEachBase([&](Execution &Base) {
-    ++Suite.BasesVisited;
-    if ((Suite.BasesVisited & 0x3ff) == 0 &&
-        secondsSince(Start) > BudgetSeconds)
-      return false;
-    // Forbid tests are consistent under the baseline; the baseline ignores
-    // transactions, so this prunes before any placement is tried.
-    if (!Baseline.consistent(Base))
-      return true;
-    return Enum.forEachTxnPlacement(Base, [&](Execution &X) {
-      ++Suite.PlacementsVisited;
-      if (TmModel.consistent(X))
-        return true;
-      if (!isMinimallyInconsistent(X, TmModel, V))
-        return true;
-      uint64_t H = canonicalHash(X);
-      if (Seen.insert(H).second) {
-        Suite.Tests.push_back(X);
-        Suite.FoundAtSeconds.push_back(secondsSince(Start));
+  Suite.Complete = true;
+  for (const ShardResult &R : Shards) {
+    Suite.Complete = Suite.Complete && R.Finished;
+    Suite.BasesVisited += R.BasesVisited;
+    Suite.PlacementsVisited += R.PlacementsVisited;
+    for (unsigned I = 0; I < R.Tests.size(); ++I)
+      if (Seen.insert(R.Hashes[I]).second) {
+        Suite.Tests.push_back(R.Tests[I]);
+        Suite.FoundAtSeconds.push_back(R.FoundAtSeconds[I]);
       }
-      return true;
-    });
-  });
-
-  Suite.Complete = Finished;
+  }
   Suite.SynthesisSeconds = secondsSince(Start);
   return Suite;
 }

@@ -15,6 +15,16 @@
 /// the timeout column of the paper's Table 1. Discovery timestamps are
 /// recorded to reproduce the Fig. 7 distribution.
 ///
+/// The search is shardable (`Jobs > 1`): the canonical-skeleton space is
+/// partitioned on its first branching decision, each shard runs on its own
+/// `std::thread` with a private `ExecutionAnalysis` arena (reset per base,
+/// transaction-state-invalidated per placement), and the per-shard results
+/// are merged with canonical-hash deduplication afterwards. Models are
+/// stateless and shared by const reference across shards. The deduplicated
+/// test *set* is the same for every `Jobs` value (the shards partition the
+/// space exactly); which symmetry-equivalent representative of each test
+/// survives, and the order of `Tests`, can vary with the shard count.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_SYNTH_CONFORMANCE_H
@@ -42,11 +52,13 @@ struct ForbidSuite {
 
 /// Synthesise the Forbid suite: executions with \p NumEvents events that
 /// are minimally inconsistent under \p TmModel and consistent under
-/// \p Baseline.
+/// \p Baseline. \p Jobs > 1 enumerates shards of the skeleton space on
+/// that many threads and merges the deduplicated results (same canonical
+/// test set for any Jobs; representatives/order may differ).
 ForbidSuite synthesizeForbid(const MemoryModel &TmModel,
                              const MemoryModel &Baseline,
                              const Vocabulary &V, unsigned NumEvents,
-                             double BudgetSeconds = 1e18);
+                             double BudgetSeconds = 1e18, unsigned Jobs = 1);
 
 /// The Allow suite: deduplicated one-step relaxations of \p Forbid
 /// (all consistent under the TM model by minimality).

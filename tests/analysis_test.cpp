@@ -1,0 +1,276 @@
+//===- analysis_test.cpp - ExecutionAnalysis cross-checks ---------------------==//
+///
+/// The memoized analysis layer must be *observationally identical* to the
+/// uncached `Execution` methods: for a corpus of enumerated executions,
+/// every memoized derived relation equals its uncached counterpart, and
+/// every model's verdict through a shared memoized analysis equals the
+/// verdict through per-check and recompute-mode analyses. Also covers the
+/// memoization/invalidation contract (weakLift/strongLift caching, cache
+/// drop on copy and on reset) and the sharded enumeration partition.
+///
+//===----------------------------------------------------------------------===//
+
+#include "TestGraphs.h"
+#include "enumerate/Relaxation.h"
+#include "hw/ImplModel.h"
+#include "models/Armv8Model.h"
+#include "models/CppModel.h"
+#include "models/PowerModel.h"
+#include "models/ScModel.h"
+#include "models/X86Model.h"
+#include "synth/Conformance.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+using namespace tmw;
+
+namespace {
+
+/// All transaction placements over all bases of \p V at \p NumEvents,
+/// capped at \p Cap executions (placement-free bases included).
+std::vector<Execution> corpus(const Vocabulary &V, unsigned NumEvents,
+                              unsigned Cap) {
+  std::vector<Execution> Out;
+  ExecutionEnumerator Enum(V, NumEvents);
+  Enum.forEachBase([&](Execution &Base) {
+    Out.push_back(Base);
+    if (Out.size() >= Cap)
+      return false;
+    return Enum.forEachTxnPlacement(Base, [&](Execution &X) {
+      Out.push_back(X);
+      return Out.size() < Cap;
+    });
+  });
+  return Out;
+}
+
+TEST(AnalysisCrossCheck, DerivedRelationsMatchUncachedExecutionMethods) {
+  for (Arch A : {Arch::X86, Arch::Cpp}) {
+    for (const Execution &X :
+         corpus(Vocabulary::forArch(A), 3, /*Cap=*/400)) {
+      ExecutionAnalysis An(X);
+      // Query some terms twice so both the compute and the memoized path
+      // are compared.
+      for (int Round = 0; Round < 2; ++Round) {
+        EXPECT_EQ(An.sloc(), X.sloc());
+        EXPECT_EQ(An.sameThread(), X.sameThread());
+        EXPECT_EQ(An.poLoc(), X.poLoc());
+        EXPECT_EQ(An.poImm(), X.poImm());
+        EXPECT_EQ(An.fr(), X.fr());
+        EXPECT_EQ(An.com(), X.com());
+        EXPECT_EQ(An.ecom(), X.ecom());
+        EXPECT_EQ(An.rfe(), X.rfe());
+        EXPECT_EQ(An.rfi(), X.rfi());
+        EXPECT_EQ(An.coe(), X.coe());
+        EXPECT_EQ(An.coi(), X.coi());
+        EXPECT_EQ(An.fre(), X.fre());
+        EXPECT_EQ(An.fri(), X.fri());
+        EXPECT_EQ(An.stxn(), X.stxn());
+        EXPECT_EQ(An.stxnAtomic(), X.stxnAtomic());
+        EXPECT_EQ(An.tfence(), X.tfence());
+        EXPECT_EQ(An.scr(), X.scr());
+        EXPECT_EQ(An.scrt(), X.scrt());
+        EXPECT_EQ(An.reads(), X.reads());
+        EXPECT_EQ(An.writes(), X.writes());
+        EXPECT_EQ(An.accesses(), X.accesses());
+        EXPECT_EQ(An.atomics(), X.atomics());
+        EXPECT_EQ(An.transactional(), X.transactional());
+        EXPECT_EQ(An.atomicTransactional(), X.atomicTransactional());
+        for (FenceKind K : {FenceKind::MFence, FenceKind::Sync,
+                            FenceKind::CppFence}) {
+          EXPECT_EQ(An.fences(K), X.fences(K));
+          EXPECT_EQ(An.fenceRel(K), X.fenceRel(K));
+        }
+        EXPECT_EQ(An.weakLiftComStxn(), weakLift(X.com(), X.stxn()));
+        EXPECT_EQ(An.strongLiftComStxn(), strongLift(X.com(), X.stxn()));
+        EXPECT_EQ(An.strongLiftComStxnAtomic(),
+                  strongLift(X.com(), X.stxnAtomic()));
+      }
+    }
+  }
+}
+
+TEST(AnalysisCrossCheck, VerdictsAgreeAcrossAllSixModels) {
+  ScModel Sc;
+  TscModel Tsc;
+  X86Model X86;
+  PowerModel Power;
+  Armv8Model Armv8;
+  CppModel Cpp;
+  const MemoryModel *Models[] = {&Sc, &Tsc, &X86, &Power, &Armv8, &Cpp};
+
+  for (Arch A : {Arch::X86, Arch::Cpp}) {
+    for (const Execution &X :
+         corpus(Vocabulary::forArch(A), 3, /*Cap=*/400)) {
+      // One memoized analysis shared across all six models...
+      ExecutionAnalysis Shared(X);
+      for (const MemoryModel *M : Models) {
+        ConsistencyResult Cached = M->check(Shared);
+        // ...versus a fresh per-check analysis (the compatibility path)...
+        ConsistencyResult Fresh = M->check(X);
+        // ...versus full per-access recomputation (the seed behaviour).
+        ExecutionAnalysis Recomp(X, AnalysisCaching::Recompute);
+        ConsistencyResult Uncached = M->check(Recomp);
+        EXPECT_EQ(Cached.Consistent, Fresh.Consistent)
+            << M->name() << "\n"
+            << X.dump();
+        EXPECT_EQ(Cached.Consistent, Uncached.Consistent)
+            << M->name() << "\n"
+            << X.dump();
+        EXPECT_STREQ(Cached.FailedAxiom, Fresh.FailedAxiom) << M->name();
+        EXPECT_STREQ(Cached.FailedAxiom, Uncached.FailedAxiom)
+            << M->name();
+      }
+    }
+  }
+}
+
+TEST(AnalysisCrossCheck, ArenaInvalidationMatchesFreshAnalyses) {
+  // Mirror the sharded synthesis loop: one arena reset per base,
+  // transaction-state invalidation per placement.
+  X86Model Tm;
+  Vocabulary V = Vocabulary::forArch(Arch::X86);
+  ExecutionEnumerator Enum(V, 3);
+  unsigned Compared = 0;
+  Execution First = shapes::storeBuffering();
+  ExecutionAnalysis Arena(First);
+  Enum.forEachBase([&](Execution &Base) {
+    Arena.reset(Base);
+    EXPECT_EQ(Tm.consistent(Arena), Tm.consistent(ExecutionAnalysis(Base)));
+    return Enum.forEachTxnPlacement(Base, [&](Execution &X) {
+      Arena.invalidateTransactionalState();
+      EXPECT_EQ(Tm.consistent(Arena), Tm.consistent(ExecutionAnalysis(X)))
+          << X.dump();
+      return ++Compared < 500;
+    });
+  });
+  EXPECT_GT(Compared, 100u);
+}
+
+TEST(AnalysisMemoization, LiftedIsolationTermsComputeOnce) {
+  Execution X = shapes::storeBuffering();
+  X.Txn[0] = 0;
+  X.Txn[1] = 0;
+  ExecutionAnalysis A(X);
+  uint64_t Before = A.recomputeCount();
+  const Relation &First = A.strongLiftComStxn();
+  uint64_t AfterFirst = A.recomputeCount();
+  EXPECT_GT(AfterFirst, Before); // computed com, stxn, and the lift
+  const Relation &Second = A.strongLiftComStxn();
+  EXPECT_EQ(A.recomputeCount(), AfterFirst); // memoized: no recompute
+  EXPECT_EQ(First, Second);
+
+  // weakLift reuses the memoized com/stxn: only the lift itself is new.
+  A.weakLiftComStxn();
+  EXPECT_EQ(A.recomputeCount(), AfterFirst + 1);
+  A.weakLiftComStxn();
+  EXPECT_EQ(A.recomputeCount(), AfterFirst + 1);
+
+  // Recompute mode re-derives on every access.
+  ExecutionAnalysis R(X, AnalysisCaching::Recompute);
+  R.strongLiftComStxn();
+  uint64_t N1 = R.recomputeCount();
+  R.strongLiftComStxn();
+  EXPECT_GT(R.recomputeCount(), N1);
+  EXPECT_EQ(R.strongLiftComStxn(), A.strongLiftComStxn());
+}
+
+TEST(AnalysisMemoization, CopyInvalidatesCaches) {
+  Execution X = shapes::messagePassing();
+  ExecutionAnalysis A(X);
+  A.com();
+  A.fenceRel(FenceKind::MFence);
+  ASSERT_GT(A.recomputeCount(), 0u);
+
+  // The copy starts cold but re-derives identical results.
+  ExecutionAnalysis B(A);
+  EXPECT_EQ(B.recomputeCount(), 0u);
+  EXPECT_EQ(B.com(), A.com());
+  EXPECT_GT(B.recomputeCount(), 0u);
+
+  ExecutionAnalysis C = A;
+  (void)C;
+  ExecutionAnalysis D(X);
+  D = A;
+  EXPECT_EQ(D.recomputeCount(), 0u);
+  EXPECT_EQ(D.fr(), X.fr());
+}
+
+TEST(AnalysisMemoization, ResetRetargets) {
+  Execution X = shapes::storeBuffering();
+  Execution Y = shapes::messagePassing();
+  ExecutionAnalysis A(X);
+  EXPECT_EQ(A.com(), X.com());
+  A.reset(Y);
+  EXPECT_EQ(A.recomputeCount(), 0u);
+  EXPECT_EQ(&A.execution(), &Y);
+  EXPECT_EQ(A.com(), Y.com());
+  EXPECT_EQ(A.rfe(), Y.rfe());
+}
+
+TEST(ShardedEnumeration, ShardsPartitionTheBaseSpace) {
+  Vocabulary V = Vocabulary::forArch(Arch::X86);
+  ExecutionEnumerator Enum(V, 4);
+
+  std::multiset<uint64_t> All;
+  Enum.forEachBase([&](Execution &X) {
+    All.insert(X.hash());
+    return true;
+  });
+  ASSERT_FALSE(All.empty());
+
+  for (unsigned NumShards : {2u, 3u, 7u}) {
+    std::multiset<uint64_t> Sharded;
+    for (unsigned S = 0; S < NumShards; ++S)
+      Enum.forEachBaseSharded(S, NumShards, [&](Execution &X) {
+        Sharded.insert(X.hash());
+        return true;
+      });
+    EXPECT_EQ(Sharded, All) << NumShards << " shards";
+  }
+}
+
+TEST(ShardedEnumeration, ParallelForbidSynthesisMatchesSequential) {
+  X86Model Tm;
+  X86Model Baseline{X86Model::Config::baseline()};
+  Vocabulary V = Vocabulary::forArch(Arch::X86);
+
+  ForbidSuite Seq = synthesizeForbid(Tm, Baseline, V, 4, 300.0, 1);
+  ForbidSuite Par = synthesizeForbid(Tm, Baseline, V, 4, 300.0, 4);
+  ASSERT_TRUE(Seq.Complete);
+  ASSERT_TRUE(Par.Complete);
+  EXPECT_EQ(Seq.BasesVisited, Par.BasesVisited);
+  EXPECT_EQ(Seq.PlacementsVisited, Par.PlacementsVisited);
+
+  std::set<uint64_t> SeqHashes, ParHashes;
+  for (const Execution &X : Seq.Tests)
+    SeqHashes.insert(canonicalHash(X));
+  for (const Execution &X : Par.Tests)
+    ParHashes.insert(canonicalHash(X));
+  EXPECT_EQ(SeqHashes, ParHashes);
+  EXPECT_EQ(Seq.Tests.size(), Par.Tests.size());
+}
+
+TEST(BuilderCapacity, SixtyFourEventExecutionIsLegal) {
+  // Exactly kMaxEvents events must be accepted end-to-end — pins the
+  // builder's capacity bound against off-by-one regressions.
+  ExecutionBuilder B;
+  for (unsigned T = 0; T < 4; ++T) {
+    // Initial-value reads first, then the write: fr agrees with po.
+    for (unsigned I = 1; I < kMaxEvents / 4; ++I)
+      B.read(T, static_cast<LocId>(T));
+    B.write(T, static_cast<LocId>(T), MemOrder::NonAtomic, 1);
+  }
+  Execution X = B.build();
+  ASSERT_EQ(X.size(), kMaxEvents);
+  EXPECT_EQ(X.checkWellFormed(), nullptr);
+  ExecutionAnalysis A(X);
+  EXPECT_EQ(A.com(), X.com());
+  ScModel Sc;
+  EXPECT_TRUE(Sc.consistent(A));
+}
+
+} // namespace
