@@ -1,61 +1,42 @@
 //===- ablation_axioms.cpp - Per-axiom ablation study ---------------------------==//
 ///
-/// The design-choice ablations called out in DESIGN.md: for each TM axiom
-/// of each architecture, how many of the synthesised Forbid tests become
-/// allowed when the axiom is dropped — i.e. how much of the conformance
-/// suite each axiom carries. Includes the §9 comparison (Dongol-style
-/// atomicity-only models) and the §6.2 buggy-RTL configuration.
+/// The design-choice ablations called out in DESIGN.md, generated from the
+/// models themselves: for *every* named axiom of *every* registered model
+/// (`MemoryModel::axioms()` — nothing is hardcoded here), synthesise the
+/// model's Forbid suite, drop the axiom via a registry spec
+/// ("power/-TxnOrder", ...), and report how many Forbid tests become
+/// allowed — i.e. how much of the conformance suite each axiom carries —
+/// plus the consistency-check throughput of each ablated configuration.
+/// Includes the §9 comparison (Dongol-style atomicity-only models) and the
+/// §6.2 buggy-RTL configuration as ordinary rows of the sweep.
 ///
 /// Ablation is the canonical many-models-one-execution workload, so this
 /// bench also measures the consistency-check hot path both ways — derived
 /// relations memoized in a shared `ExecutionAnalysis` versus re-derived
-/// per access (the historical uncached behaviour) — and emits the
-/// throughputs to `BENCH_ablation_axioms.json`.
+/// per access (the historical uncached behaviour) — and emits everything
+/// to `BENCH_ablation_axioms.json`.
 ///
 /// Knobs: `--jobs N` shards the Forbid synthesis across N threads;
-/// `TMW_BENCH_BUDGET_SECONDS`, `TMW_BENCH_MAX_EVENTS` as everywhere.
+/// `--smoke` shrinks budgets for CI (a seconds-scale run that still
+/// exercises every model and axiom); `TMW_BENCH_BUDGET_SECONDS`,
+/// `TMW_BENCH_MAX_EVENTS` as everywhere.
 ///
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
-#include "models/Armv8Model.h"
-#include "models/PowerModel.h"
-#include "models/X86Model.h"
+#include "models/ModelRegistry.h"
 #include "synth/Conformance.h"
 
+#include <algorithm>
 #include <chrono>
-#include <functional>
+#include <cstring>
+#include <memory>
+#include <string>
 #include <vector>
 
 using namespace tmw;
 
 namespace {
-
-template <typename ModelT, typename ConfigT>
-void ablate(const char *ArchName, Arch A, unsigned MaxE, double Budget,
-            unsigned Jobs,
-            const std::vector<std::pair<const char *,
-                                        std::function<ConfigT()>>> &Drops) {
-  ModelT Tm;
-  ModelT Baseline{ConfigT::baseline()};
-  Vocabulary V = Vocabulary::forArch(A);
-
-  std::vector<Execution> Forbid;
-  for (unsigned N = 2; N <= MaxE; ++N) {
-    ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget, Jobs);
-    Forbid.insert(Forbid.end(), S.Tests.begin(), S.Tests.end());
-  }
-  std::printf("\n%s: %zu Forbid tests (|E| <= %u, %u job%s)\n", ArchName,
-              Forbid.size(), MaxE, Jobs, Jobs == 1 ? "" : "s");
-  std::printf("  %-22s %16s\n", "dropped axiom", "tests now allowed");
-  for (const auto &[Name, MakeConfig] : Drops) {
-    ModelT Ablated{MakeConfig()};
-    unsigned NowAllowed = 0;
-    for (const Execution &X : Forbid)
-      NowAllowed += Ablated.consistent(X);
-    std::printf("  %-22s %10u / %zu\n", Name, NowAllowed, Forbid.size());
-  }
-}
 
 double secondsSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -63,9 +44,9 @@ double secondsSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
-/// Measure checks/sec over \p Corpus x \p Models, with one shared memoized
-/// analysis per execution (Cached) or per-access recomputation (the
-/// uncached seed behaviour).
+/// Measure checks/sec of \p Models over \p Corpus, with one shared
+/// memoized analysis per execution (Cached) or per-access recomputation
+/// (the uncached seed behaviour).
 double checksPerSec(const std::vector<Execution> &Corpus,
                     const std::vector<const MemoryModel *> &Models,
                     bool Cached, double MinSeconds) {
@@ -92,151 +73,128 @@ double checksPerSec(const std::vector<Execution> &Corpus,
   return static_cast<double>(Checks) / secondsSince(Start);
 }
 
+/// A bounded corpus of transaction placements over enumerated bases.
+std::vector<Execution> placementCorpus(Arch A, unsigned MaxE,
+                                       unsigned Cap) {
+  std::vector<Execution> Corpus;
+  Vocabulary V = Vocabulary::forArch(A);
+  ExecutionEnumerator Enum(V, MaxE);
+  Enum.forEachBase([&](Execution &Base) {
+    return Enum.forEachTxnPlacement(Base, [&](Execution &X) {
+      Corpus.push_back(X);
+      return Corpus.size() < Cap;
+    }) && Corpus.size() < Cap;
+  });
+  return Corpus;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  bench::header("Ablations: what each TM axiom carries",
+  bench::header("Ablations: what each axiom of each model carries",
                 "DESIGN.md ablation index; §5-§6, §9, §6.2");
-  double Budget = bench::budgetSeconds(60.0);
-  unsigned MaxE = bench::maxEvents(4);
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+  double Budget = bench::budgetSeconds(Smoke ? 2.0 : 60.0);
+  unsigned MaxE = bench::maxEvents(Smoke ? 3 : 4);
   unsigned Jobs = bench::jobs(argc, argv);
+  double MeasureSeconds = Smoke ? 0.02 : 0.25;
 
-  ablate<X86Model, X86Model::Config>(
-      "x86", Arch::X86, MaxE, Budget, Jobs,
-      {{"tfence", [] {
-          X86Model::Config C;
-          C.Tfence = false;
-          return C;
-        }},
-       {"StrongIsol", [] {
-          X86Model::Config C;
-          C.StrongIsol = false;
-          return C;
-        }},
-       {"TxnOrder", [] {
-          X86Model::Config C;
-          C.TxnOrder = false;
-          return C;
-        }}});
+  std::string PerAxiomJson;
 
-  ablate<PowerModel, PowerModel::Config>(
-      "Power", Arch::Power, MaxE > 3 ? 3 : MaxE, Budget, Jobs,
-      {{"tfence", [] {
-          PowerModel::Config C;
-          C.Tfence = false;
-          return C;
-        }},
-       {"StrongIsol", [] {
-          PowerModel::Config C;
-          C.StrongIsol = false;
-          return C;
-        }},
-       {"TxnOrder", [] {
-          PowerModel::Config C;
-          C.TxnOrder = false;
-          return C;
-        }},
-       {"tprop1", [] {
-          PowerModel::Config C;
-          C.TProp1 = false;
-          return C;
-        }},
-       {"tprop2", [] {
-          PowerModel::Config C;
-          C.TProp2 = false;
-          return C;
-        }},
-       {"thb", [] {
-          PowerModel::Config C;
-          C.Thb = false;
-          return C;
-        }},
-       {"TxnCancelsRMW", [] {
-          PowerModel::Config C;
-          C.TxnCancelsRmw = false;
-          return C;
-        }},
-       {"atomicity-only (Dongol)", [] {
-          PowerModel::Config C;
-          C.Thb = false;
-          C.TxnOrder = false;
-          C.TProp1 = false;
-          C.TProp2 = false;
-          return C;
-        }}});
+  //===------------------------------------------------------------------===
+  // Registry-driven sweep: every single-axiom ablation of every model,
+  // generated from axioms().
+  //===------------------------------------------------------------------===
+  for (Arch A : ModelRegistry::allArchs()) {
+    std::unique_ptr<MemoryModel> Tm = ModelRegistry::make(A);
+    AxiomList Axioms = Tm->axioms();
+    unsigned NumAxioms = static_cast<unsigned>(Axioms.size());
+    std::string ArchSpec = ModelRegistry::archSpecName(A);
 
-  ablate<Armv8Model, Armv8Model::Config>(
-      "ARMv8", Arch::Armv8, MaxE > 3 ? 3 : MaxE, Budget, Jobs,
-      {{"tfence", [] {
-          Armv8Model::Config C;
-          C.Tfence = false;
-          return C;
-        }},
-       {"StrongIsol", [] {
-          Armv8Model::Config C;
-          C.StrongIsol = false;
-          return C;
-        }},
-       {"TxnOrder (buggy RTL)", [] {
-          Armv8Model::Config C;
-          C.TxnOrder = false;
-          return C;
-        }},
-       {"TxnCancelsRMW", [] {
-          Armv8Model::Config C;
-          C.TxnCancelsRmw = false;
-          return C;
-        }}});
+    // The baseline (all TM axioms off) prunes the Forbid search; models
+    // without TM axioms (SC) have no Forbid suite to synthesise.
+    std::unique_ptr<MemoryModel> Baseline =
+        ModelRegistry::parse(ArchSpec + "/+baseline");
+    bool HasTm =
+        baselineMask(Axioms).normalized(NumAxioms) !=
+        AxiomMask::all().normalized(NumAxioms);
 
-  std::printf("\nReading: each row drops one axiom from the TM model and "
-              "re-checks the Forbid\nsuite; 'tests now allowed' > 0 means "
-              "the axiom is load-bearing (§6.2's RTL bug\nis the TxnOrder "
-              "row on ARMv8).\n");
+    // Power/ARMv8/C++ checks are an order of magnitude heavier; cap their
+    // exhaustive sweep one event earlier, like the paper's preliminary
+    // mode.
+    unsigned ArchMaxE =
+        (A == Arch::X86 || A == Arch::TSC) ? MaxE : std::min(MaxE, 3u);
+
+    std::vector<Execution> Forbid;
+    if (HasTm)
+      for (unsigned N = 2; N <= ArchMaxE; ++N) {
+        ForbidSuite S =
+            synthesizeForbid(*Tm, *Baseline, Vocabulary::forArch(A), N,
+                             Budget, Jobs);
+        Forbid.insert(Forbid.end(), S.Tests.begin(), S.Tests.end());
+      }
+
+    std::vector<Execution> Corpus =
+        placementCorpus(A, std::min(ArchMaxE, 3u), Smoke ? 128 : 256);
+
+    std::printf("\n%s: %u axioms, %zu Forbid tests (|E| <= %u, %u job%s)\n",
+                Tm->name(), NumAxioms, Forbid.size(), ArchMaxE, Jobs,
+                Jobs == 1 ? "" : "s");
+    std::printf("  %-28s %16s %14s\n", "dropped axiom",
+                "tests now allowed", "checks/sec");
+    for (const Axiom &Ax : Axioms) {
+      std::string Spec = ArchSpec + "/-" + std::string(Ax.Name);
+      std::unique_ptr<MemoryModel> Ablated = ModelRegistry::parse(Spec);
+      unsigned NowAllowed = 0;
+      for (const Execution &X : Forbid)
+        NowAllowed += Ablated->consistent(X);
+      double Cps = checksPerSec(Corpus, {Ablated.get()}, /*Cached=*/true,
+                                MeasureSeconds);
+      std::printf("  %-28s %10u / %-5zu %12.0f\n", Spec.c_str(),
+                  NowAllowed, Forbid.size(), Cps);
+
+      char Entry[256];
+      std::snprintf(Entry, sizeof(Entry),
+                    "%s{\"spec\": \"%s\", \"forbid_tests\": %zu, "
+                    "\"now_allowed\": %u, \"checks_per_sec\": %.0f}",
+                    PerAxiomJson.empty() ? "" : ", ", Spec.c_str(),
+                    Forbid.size(), NowAllowed, Cps);
+      PerAxiomJson += Entry;
+    }
+  }
+
+  std::printf("\nReading: each row drops one axiom from its model and "
+              "re-checks the model's\nForbid suite; 'tests now allowed' > "
+              "0 means the axiom is load-bearing (§6.2's\nRTL bug is the "
+              "armv8/-TxnOrder row; §9's atomicity-only comparison is the "
+              "thb/\ntprop rows on Power).\n");
 
   //===------------------------------------------------------------------===
   // Hot-path throughput: memoized ExecutionAnalysis vs uncached per-access
-  // recomputation over the ablation workload (every model configuration
+  // recomputation over the ablation workload (every x86 configuration
   // evaluated on every corpus execution).
   //===------------------------------------------------------------------===
   std::printf("\nConsistency-check throughput (x86 vocabulary, all "
               "ablation configs):\n");
 
-  // Corpus: transaction placements over enumerated x86 bases.
-  std::vector<Execution> Corpus;
-  {
-    Vocabulary V = Vocabulary::forArch(Arch::X86);
-    ExecutionEnumerator Enum(V, std::min(MaxE, 4u));
-    constexpr unsigned kMaxCorpus = 512;
-    Enum.forEachBase([&](Execution &Base) {
-      return Enum.forEachTxnPlacement(Base, [&](Execution &X) {
-        Corpus.push_back(X);
-        return Corpus.size() < kMaxCorpus;
-      }) && Corpus.size() < kMaxCorpus;
-    });
-  }
+  std::vector<Execution> Corpus =
+      placementCorpus(Arch::X86, std::min(MaxE, 4u), 512);
 
-  X86Model Tm;
-  X86Model NoTfence{[] {
-    X86Model::Config C;
-    C.Tfence = false;
-    return C;
-  }()};
-  X86Model NoIsol{[] {
-    X86Model::Config C;
-    C.StrongIsol = false;
-    return C;
-  }()};
-  X86Model NoOrder{[] {
-    X86Model::Config C;
-    C.TxnOrder = false;
-    return C;
-  }()};
-  X86Model Base{X86Model::Config::baseline()};
-  std::vector<const MemoryModel *> Models = {&Tm, &NoTfence, &NoIsol,
-                                             &NoOrder, &Base};
+  std::vector<std::unique_ptr<MemoryModel>> Configs;
+  for (const char *Spec : {"x86", "x86/-tfence", "x86/-StrongIsol",
+                           "x86/-TxnOrder", "x86/+baseline"})
+    Configs.push_back(ModelRegistry::parse(Spec));
+  std::vector<const MemoryModel *> Models;
+  for (const auto &M : Configs)
+    Models.push_back(M.get());
 
-  double Uncached = checksPerSec(Corpus, Models, /*Cached=*/false, 1.0);
-  double Cached = checksPerSec(Corpus, Models, /*Cached=*/true, 1.0);
+  double MinSeconds = Smoke ? 0.2 : 1.0;
+  double Uncached =
+      checksPerSec(Corpus, Models, /*Cached=*/false, MinSeconds);
+  double Cached = checksPerSec(Corpus, Models, /*Cached=*/true, MinSeconds);
   double Speedup = Uncached > 0 ? Cached / Uncached : 0.0;
   std::printf("  uncached (per-access recompute): %12.0f checks/sec\n",
               Uncached);
@@ -244,14 +202,17 @@ int main(int argc, char **argv) {
               Cached);
   std::printf("  speedup: %.2fx\n", Speedup);
 
-  char Json[512];
-  std::snprintf(Json, sizeof(Json),
+  char Head[512];
+  std::snprintf(Head, sizeof(Head),
                 "{\"bench\": \"ablation_axioms\", \"jobs\": %u, "
-                "\"corpus_executions\": %zu, \"model_configs\": %zu, "
+                "\"smoke\": %s, \"corpus_executions\": %zu, "
+                "\"model_configs\": %zu, "
                 "\"uncached_checks_per_sec\": %.0f, "
-                "\"cached_checks_per_sec\": %.0f, \"speedup\": %.3f}",
-                Jobs, Corpus.size(), Models.size(), Uncached, Cached,
-                Speedup);
-  bench::writeBenchJson("ablation_axioms", Json);
+                "\"cached_checks_per_sec\": %.0f, \"speedup\": %.3f, "
+                "\"per_axiom\": [",
+                Jobs, Smoke ? "true" : "false", Corpus.size(),
+                Models.size(), Uncached, Cached, Speedup);
+  bench::writeBenchJson("ablation_axioms",
+                        std::string(Head) + PerAxiomJson + "]}");
   return 0;
 }

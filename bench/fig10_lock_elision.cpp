@@ -107,7 +107,7 @@ int main() {
     ConsistencyResult C = Tm.check(X);
     std::printf("%-30s %-12s %s\n", Rw.Name,
                 C.Consistent ? "CONSISTENT" : "forbidden",
-                C.FailedAxiom ? C.FailedAxiom : "-");
+                C.FailedAxiom.empty() ? "-" : C.FailedAxiom.data());
   }
 
   std::printf("\nExample 1.1 as the paper's litmus pair:\n\n%s\n",

@@ -92,7 +92,7 @@ void row(const char *Name, const Execution &X, const char *PaperVerdict) {
   ConsistencyResult C = Full.check(X);
   std::printf("%-24s %-10s %-14s %-9s %-9s %-9s   paper: %s\n", Name,
               C.Consistent ? "allowed" : "FORBIDDEN",
-              C.FailedAxiom ? C.FailedAxiom : "-",
+              C.FailedAxiom.empty() ? "-" : C.FailedAxiom.data(),
               bench::yesNo(PowerModel(NoT1).consistent(X)),
               bench::yesNo(PowerModel(NoT2).consistent(X)),
               bench::yesNo(PowerModel(NoThb).consistent(X)), PaperVerdict);

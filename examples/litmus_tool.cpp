@@ -4,8 +4,21 @@
 /// candidate executions, reports the outcomes allowed by each memory
 /// model, and runs the test on the simulated hardware.
 ///
-/// Usage:   ./litmus_tool [file.litmus]
+/// Usage:   ./litmus_tool [--model <spec>]... [--explain] [file.litmus]
 /// Example: ./litmus_tool               (runs a built-in SB+txn demo)
+///          ./litmus_tool --model power/-TxnOrder --explain sb.litmus
+///
+/// Flags:
+///   --model <spec>   check against this model instead of the default six.
+///                    Repeatable. <spec> follows the registry grammar
+///                    (ModelRegistry.h): an architecture name optionally
+///                    followed by "/"-separated ablation modifiers —
+///                    "x86", "power/-TxnOrder", "cpp/+baseline",
+///                    "armv8/-tfence/-StrongIsol", ...
+///   --explain        for each model that forbids some candidate, print
+///                    the failed axioms of the first forbidden candidate
+///                    and the witness events (the cycle in the axiom's
+///                    term) extracted by MemoryModel::checkAll.
 ///
 /// DSL example:
 ///   name SB
@@ -26,15 +39,14 @@
 #include "hw/TsoMachine.h"
 #include "litmus/Parser.h"
 #include "litmus/Printer.h"
-#include "models/Armv8Model.h"
-#include "models/CppModel.h"
-#include "models/PowerModel.h"
-#include "models/ScModel.h"
-#include "models/X86Model.h"
+#include "models/ModelRegistry.h"
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <vector>
 
 using namespace tmw;
 
@@ -57,14 +69,49 @@ post reg 0 r3 0
 post reg 1 r3 0
 )";
 
+void explainCandidate(const MemoryModel &M, const Candidate &C,
+                      size_t Index) {
+  ExecutionAnalysis A(C.X);
+  CheckReport Report = M.checkAll(A);
+  std::printf("  %s forbids candidate #%zu:\n", M.name(), Index);
+  for (const AxiomVerdict &V : Report.Verdicts) {
+    if (V.Holds)
+      continue;
+    std::printf("    axiom %-14s violated: not %s; witness events {",
+                V.Ax->Name.data(), axiomKindName(V.Ax->Kind));
+    bool First = true;
+    for (EventId E : V.Witness) {
+      std::printf("%s%u", First ? "" : ", ", E);
+      First = false;
+    }
+    std::printf("}\n");
+  }
+  std::printf("%s", C.X.dump().c_str());
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
+  std::vector<std::string> ModelSpecs;
+  bool Explain = false;
+  const char *File = nullptr;
+  for (int I = 1; I < Argc; ++I) {
+    if (std::strcmp(Argv[I], "--model") == 0 && I + 1 < Argc) {
+      ModelSpecs.push_back(Argv[++I]);
+    } else if (std::strncmp(Argv[I], "--model=", 8) == 0) {
+      ModelSpecs.push_back(Argv[I] + 8);
+    } else if (std::strcmp(Argv[I], "--explain") == 0) {
+      Explain = true;
+    } else {
+      File = Argv[I];
+    }
+  }
+
   std::string Text;
-  if (Argc > 1) {
-    std::ifstream In(Argv[1]);
+  if (File) {
+    std::ifstream In(File);
     if (!In) {
-      std::fprintf(stderr, "error: cannot open %s\n", Argv[1]);
+      std::fprintf(stderr, "error: cannot open %s\n", File);
       return 1;
     }
     std::stringstream Ss;
@@ -86,26 +133,57 @@ int main(int Argc, char **Argv) {
   std::vector<Candidate> Cands = enumerateCandidates(P);
   std::printf("%zu candidate executions\n\n", Cands.size());
 
-  ScModel Sc;
-  TscModel Tsc;
-  X86Model X86;
-  PowerModel Power;
-  Armv8Model Armv8;
-  CppModel Cpp;
-  const MemoryModel *Models[] = {&Sc, &Tsc, &X86, &Power, &Armv8, &Cpp};
+  // Default: the six architecture models; --model narrows/extends the
+  // list to arbitrary registry specs (any model x ablation scenario).
+  std::vector<std::unique_ptr<MemoryModel>> Models;
+  if (ModelSpecs.empty())
+    for (Arch A : ModelRegistry::allArchs())
+      Models.push_back(ModelRegistry::make(A));
+  else
+    for (const std::string &Spec : ModelSpecs) {
+      std::string Error;
+      std::unique_ptr<MemoryModel> M = ModelRegistry::parse(Spec, &Error);
+      if (!M) {
+        std::fprintf(stderr, "error: --model %s: %s\n", Spec.c_str(),
+                     Error.c_str());
+        return 1;
+      }
+      Models.push_back(std::move(M));
+    }
 
-  std::printf("%-8s %9s %9s   postcondition\n", "model", "allowed",
+  std::printf("%-24s %9s %9s   postcondition\n", "model", "allowed",
               "outcomes");
-  for (const MemoryModel *M : Models) {
+  std::vector<const Candidate *> FirstForbidden(Models.size(), nullptr);
+  std::vector<size_t> FirstForbiddenIndex(Models.size(), 0);
+  for (size_t MI = 0; MI < Models.size(); ++MI) {
+    const MemoryModel &M = *Models[MI];
     unsigned Allowed = 0;
     bool Post = false;
-    for (const Candidate &C : Cands)
-      if (M->consistent(C.X)) {
+    for (size_t CI = 0; CI < Cands.size(); ++CI) {
+      const Candidate &C = Cands[CI];
+      if (M.consistent(C.X)) {
         ++Allowed;
         Post |= C.O.satisfies(P);
+      } else if (!FirstForbidden[MI]) {
+        FirstForbidden[MI] = &C;
+        FirstForbiddenIndex[MI] = CI;
       }
-    std::printf("%-8s %9u %9zu   %s\n", M->name(), Allowed, Cands.size(),
+    }
+    std::printf("%-24s %9u %9zu   %s\n",
+                ModelRegistry::print(M).c_str(), Allowed, Cands.size(),
                 Post ? "REACHABLE" : "unreachable");
+  }
+
+  if (Explain) {
+    std::printf("\nPer-axiom diagnostics (--explain):\n");
+    for (size_t MI = 0; MI < Models.size(); ++MI) {
+      if (!FirstForbidden[MI]) {
+        std::printf("  %s allows every candidate\n", Models[MI]->name());
+        continue;
+      }
+      explainCandidate(*Models[MI], *FirstForbidden[MI],
+                       FirstForbiddenIndex[MI]);
+    }
   }
 
   std::printf("\nSimulated hardware campaigns:\n");

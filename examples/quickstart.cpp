@@ -2,8 +2,10 @@
 ///
 /// Build an execution graph, check it against several memory models, and
 /// derive the litmus test that witnesses it — the core loop of the whole
-/// toolflow in ~60 lines. A final section synthesises a small conformance
-/// suite to show the sharded parallel search.
+/// toolflow in ~60 lines. Models are resolved from registry spec strings
+/// (`ModelRegistry::parse`, e.g. "power" or "power/-tfence"), failures are
+/// explained per axiom via `checkAll`, and a final section synthesises a
+/// small conformance suite to show the sharded parallel search.
 ///
 /// Run: ./quickstart [--jobs N]
 ///
@@ -21,13 +23,12 @@
 #include "execution/Builder.h"
 #include "litmus/FromExecution.h"
 #include "litmus/Printer.h"
-#include "models/Armv8Model.h"
-#include "models/PowerModel.h"
-#include "models/ScModel.h"
-#include "models/X86Model.h"
+#include "models/ModelRegistry.h"
 #include "synth/Conformance.h"
 
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 using namespace tmw;
 
@@ -46,19 +47,19 @@ int main(int argc, char **argv) {
 
   std::printf("Execution:\n%s\n", Mp.dump().c_str());
 
-  ScModel Sc;
-  X86Model X86;
-  PowerModel Power;
-  Armv8Model Armv8;
+  // Any model x ablation scenario is addressable as a spec string.
+  std::vector<std::unique_ptr<MemoryModel>> Models;
+  for (const char *Spec : {"sc", "x86", "power", "armv8"})
+    Models.push_back(ModelRegistry::parse(Spec));
+
   std::printf("Is the stale read allowed?\n");
-  for (const MemoryModel *M :
-       std::initializer_list<const MemoryModel *>{&Sc, &X86, &Power,
-                                                  &Armv8}) {
+  for (const auto &M : Models) {
     ConsistencyResult R = M->check(Mp);
-    std::printf("  %-8s %s%s%s\n", M->name(),
+    std::printf("  %-8s %s%s%.*s\n", M->name(),
                 R.Consistent ? "allowed" : "forbidden",
-                R.FailedAxiom ? " by " : "",
-                R.FailedAxiom ? R.FailedAxiom : "");
+                R.FailedAxiom.empty() ? "" : " by ",
+                static_cast<int>(R.FailedAxiom.size()),
+                R.FailedAxiom.data());
   }
 
   // Wrap the writer in a transaction: the implicit fences at its
@@ -68,17 +69,28 @@ int main(int argc, char **argv) {
   MpTxn.Txn[0] = 0;
   MpTxn.Txn[1] = 0;
   std::printf("\nSame shape with the writer inside a transaction:\n");
-  for (const MemoryModel *M :
-       std::initializer_list<const MemoryModel *>{&X86, &Power, &Armv8}) {
+  for (const auto &M : Models) {
+    if (M->arch() == Arch::SC)
+      continue;
     // A dependency on the reader side is still needed on Power/ARMv8 —
     // add one.
     Execution X = MpTxn;
     X.Addr.insert(SeeFlag, 3);
-    ConsistencyResult R = M->check(X);
-    std::printf("  %-8s %s%s%s\n", M->name(),
-                R.Consistent ? "allowed" : "forbidden",
-                R.FailedAxiom ? " by " : "",
-                R.FailedAxiom ? R.FailedAxiom : "");
+    // checkAll reports every axiom's verdict plus, for each violation,
+    // the events witnessing it (a cycle in the axiom's term).
+    ExecutionAnalysis A(X);
+    CheckReport Report = M->checkAll(A);
+    std::printf("  %-8s %s\n", M->name(),
+                Report.Consistent ? "allowed" : "forbidden");
+    for (const AxiomVerdict &V : Report.Verdicts) {
+      if (V.Holds)
+        continue;
+      std::printf("           violates %s (%s); witness events:",
+                  V.Ax->Name.data(), axiomKindName(V.Ax->Kind));
+      for (EventId E : V.Witness)
+        std::printf(" %u", E);
+      std::printf("\n");
+    }
   }
 
   // Derive the litmus test that checks for this execution on real
@@ -89,11 +101,13 @@ int main(int argc, char **argv) {
   std::printf("\nAs Power assembly:\n%s", printAsm(P, Arch::Power).c_str());
 
   // Finally: synthesise the 4-event x86 Forbid suite — the tests that
-  // distinguish the TM extension (§4.2). `--jobs N` shards the search
-  // across N threads; the merged, deduplicated test set is the same for
-  // any N.
-  X86Model Baseline{X86Model::Config::baseline()};
-  ForbidSuite S = synthesizeForbid(X86, Baseline,
+  // distinguish the TM extension (§4.2). The baseline is just another
+  // spec string; `--jobs N` shards the search across N threads and the
+  // merged, deduplicated test set is the same for any N.
+  std::unique_ptr<MemoryModel> X86 = ModelRegistry::parse("x86");
+  std::unique_ptr<MemoryModel> Baseline =
+      ModelRegistry::parse("x86/+baseline");
+  ForbidSuite S = synthesizeForbid(*X86, *Baseline,
                                    Vocabulary::forArch(Arch::X86),
                                    /*NumEvents=*/4, /*BudgetSeconds=*/60.0,
                                    Jobs);

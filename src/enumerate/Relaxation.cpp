@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <optional>
 
 using namespace tmw;
 
@@ -227,9 +228,21 @@ bool tmw::isMinimallyInconsistent(const ExecutionAnalysis &A,
                                   const MemoryModel &M, const Vocabulary &V) {
   if (M.consistent(A))
     return false;
-  for (const Execution &Y : relaxOneStep(A.execution(), V))
-    if (!M.consistent(Y))
+  // Each relaxation child is checked through a per-thread analysis arena:
+  // retargeting via reset() is a generation bump, where the implicit
+  // `Execution -> ExecutionAnalysis` conversion would construct (and
+  // zero) a fresh ~25 KB cache block per child. The arena's target
+  // dangles between calls (the children are locals); it is never read
+  // before the next reset().
+  static thread_local std::optional<ExecutionAnalysis> Arena;
+  for (const Execution &Y : relaxOneStep(A.execution(), V)) {
+    if (!Arena)
+      Arena.emplace(Y);
+    else
+      Arena->reset(Y);
+    if (!M.consistent(*Arena))
       return false;
+  }
   return true;
 }
 

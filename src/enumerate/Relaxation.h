@@ -37,7 +37,9 @@ std::vector<Execution> relaxOneStep(const Execution &X, const Vocabulary &V);
 /// True when the analysed execution is inconsistent under \p M and every
 /// one-step relaxation is consistent. Takes the (possibly shared) analysis
 /// so the caller's `M.check` and this function's own top-level check reuse
-/// the same derived relations; an `Execution` converts implicitly.
+/// the same derived relations; an `Execution` converts implicitly. The
+/// relaxation children are checked through a reusable per-thread analysis
+/// arena (safe: models are stateless and shards never share a thread).
 bool isMinimallyInconsistent(const ExecutionAnalysis &A, const MemoryModel &M,
                              const Vocabulary &V);
 

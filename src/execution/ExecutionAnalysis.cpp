@@ -9,48 +9,48 @@ using namespace tmw;
 //===----------------------------------------------------------------------===
 
 EventSet ExecutionAnalysis::reads() const {
-  return memo(C.Reads, [&] { return X->reads(); });
+  return memo(C.Reads, StructGen, [&] { return X->reads(); });
 }
 
 EventSet ExecutionAnalysis::writes() const {
-  return memo(C.Writes, [&] { return X->writes(); });
+  return memo(C.Writes, StructGen, [&] { return X->writes(); });
 }
 
 EventSet ExecutionAnalysis::fences() const {
-  return memo(C.Fences, [&] { return X->fences(); });
+  return memo(C.Fences, StructGen, [&] { return X->fences(); });
 }
 
 EventSet ExecutionAnalysis::accesses() const {
-  return memo(C.Accesses, [&] { return reads() | writes(); });
+  return memo(C.Accesses, StructGen, [&] { return reads() | writes(); });
 }
 
 EventSet ExecutionAnalysis::fences(FenceKind K) const {
-  return memo(C.FencesOf[static_cast<unsigned>(K)],
+  return memo(C.FencesOf[static_cast<unsigned>(K)], StructGen,
               [&] { return X->fences(K); });
 }
 
 EventSet ExecutionAnalysis::atomics() const {
-  return memo(C.Atomics, [&] { return X->atomics(); });
+  return memo(C.Atomics, StructGen, [&] { return X->atomics(); });
 }
 
 EventSet ExecutionAnalysis::acquires() const {
-  return memo(C.Acquires, [&] { return X->acquires(); });
+  return memo(C.Acquires, StructGen, [&] { return X->acquires(); });
 }
 
 EventSet ExecutionAnalysis::releases() const {
-  return memo(C.Releases, [&] { return X->releases(); });
+  return memo(C.Releases, StructGen, [&] { return X->releases(); });
 }
 
 EventSet ExecutionAnalysis::seqCst() const {
-  return memo(C.SeqCst, [&] { return X->seqCst(); });
+  return memo(C.SeqCst, StructGen, [&] { return X->seqCst(); });
 }
 
 EventSet ExecutionAnalysis::transactional() const {
-  return memo(C.Transactional, [&] { return X->transactional(); });
+  return memo(C.Transactional, TxnGen, [&] { return X->transactional(); });
 }
 
 EventSet ExecutionAnalysis::atomicTransactional() const {
-  return memo(C.AtomicTransactional,
+  return memo(C.AtomicTransactional, TxnGen,
               [&] { return X->atomicTransactional(); });
 }
 
@@ -60,23 +60,23 @@ EventSet ExecutionAnalysis::atomicTransactional() const {
 //===----------------------------------------------------------------------===
 
 const Relation &ExecutionAnalysis::sloc() const {
-  return memo(C.Sloc, [&] { return X->sloc(); });
+  return memo(C.Sloc, StructGen, [&] { return X->sloc(); });
 }
 
 const Relation &ExecutionAnalysis::sameThread() const {
-  return memo(C.SameThread, [&] { return X->sameThread(); });
+  return memo(C.SameThread, StructGen, [&] { return X->sameThread(); });
 }
 
 const Relation &ExecutionAnalysis::poLoc() const {
-  return memo(C.PoLoc, [&] { return X->Po & sloc(); });
+  return memo(C.PoLoc, StructGen, [&] { return X->Po & sloc(); });
 }
 
 const Relation &ExecutionAnalysis::poImm() const {
-  return memo(C.PoImm, [&] { return X->Po - X->Po.compose(X->Po); });
+  return memo(C.PoImm, StructGen, [&] { return X->Po - X->Po.compose(X->Po); });
 }
 
 const Relation &ExecutionAnalysis::fr() const {
-  return memo(C.Fr, [&] {
+  return memo(C.Fr, StructGen, [&] {
     Relation ReadsToWrites = sloc().restrictDomain(reads()).restrictRange(
         writes());
     Relation NotAfter = X->Rf.inverse().compose(
@@ -86,47 +86,47 @@ const Relation &ExecutionAnalysis::fr() const {
 }
 
 const Relation &ExecutionAnalysis::com() const {
-  return memo(C.Com, [&] { return X->Rf | X->Co | fr(); });
+  return memo(C.Com, StructGen, [&] { return X->Rf | X->Co | fr(); });
 }
 
 const Relation &ExecutionAnalysis::ecom() const {
-  return memo(C.Ecom, [&] { return com() | X->Co.compose(X->Rf); });
+  return memo(C.Ecom, StructGen, [&] { return com() | X->Co.compose(X->Rf); });
 }
 
 const Relation &ExecutionAnalysis::rfe() const {
-  return memo(C.Rfe, [&] { return external(X->Rf); });
+  return memo(C.Rfe, StructGen, [&] { return external(X->Rf); });
 }
 
 const Relation &ExecutionAnalysis::rfi() const {
-  return memo(C.Rfi, [&] { return internal(X->Rf); });
+  return memo(C.Rfi, StructGen, [&] { return internal(X->Rf); });
 }
 
 const Relation &ExecutionAnalysis::coe() const {
-  return memo(C.Coe, [&] { return external(X->Co); });
+  return memo(C.Coe, StructGen, [&] { return external(X->Co); });
 }
 
 const Relation &ExecutionAnalysis::coi() const {
-  return memo(C.Coi, [&] { return internal(X->Co); });
+  return memo(C.Coi, StructGen, [&] { return internal(X->Co); });
 }
 
 const Relation &ExecutionAnalysis::fre() const {
-  return memo(C.Fre, [&] { return external(fr()); });
+  return memo(C.Fre, StructGen, [&] { return external(fr()); });
 }
 
 const Relation &ExecutionAnalysis::fri() const {
-  return memo(C.Fri, [&] { return internal(fr()); });
+  return memo(C.Fri, StructGen, [&] { return internal(fr()); });
 }
 
 const Relation &ExecutionAnalysis::stxn() const {
-  return memo(C.Stxn, [&] { return X->stxn(); });
+  return memo(C.Stxn, TxnGen, [&] { return X->stxn(); });
 }
 
 const Relation &ExecutionAnalysis::stxnAtomic() const {
-  return memo(C.StxnAtomic, [&] { return X->stxnAtomic(); });
+  return memo(C.StxnAtomic, TxnGen, [&] { return X->stxnAtomic(); });
 }
 
 const Relation &ExecutionAnalysis::tfence() const {
-  return memo(C.Tfence, [&] {
+  return memo(C.Tfence, TxnGen, [&] {
     const Relation &S = stxn();
     Relation NotS = S.complement();
     return X->Po & (NotS.compose(S) | S.compose(NotS));
@@ -134,22 +134,22 @@ const Relation &ExecutionAnalysis::tfence() const {
 }
 
 const Relation &ExecutionAnalysis::scr() const {
-  return memo(C.Scr, [&] { return X->scr(); });
+  return memo(C.Scr, StructGen, [&] { return X->scr(); });
 }
 
 const Relation &ExecutionAnalysis::scrt() const {
-  return memo(C.Scrt, [&] { return X->scrt(); });
+  return memo(C.Scrt, StructGen, [&] { return X->scrt(); });
 }
 
 const Relation &ExecutionAnalysis::fenceRel(FenceKind K) const {
-  return memo(C.FenceRels[static_cast<unsigned>(K)], [&] {
+  return memo(C.FenceRels[static_cast<unsigned>(K)], StructGen, [&] {
     Relation Id = Relation::identityOn(fences(K), X->size());
     return X->Po.compose(Id).compose(X->Po);
   });
 }
 
 const Relation &ExecutionAnalysis::cppSynchronisesWith() const {
-  return memo(C.CppSw, [&] {
+  return memo(C.CppSw, StructGen, [&] {
     unsigned N = X->size();
     EventSet W = writes(), R = reads(), F = fences();
     EventSet Ato = atomics();
@@ -176,19 +176,19 @@ const Relation &ExecutionAnalysis::cppSynchronisesWith() const {
 }
 
 const Relation &ExecutionAnalysis::cppTransactionalSw() const {
-  return memo(C.CppTsw, [&] { return weakLift(ecom(), stxn()); });
+  return memo(C.CppTsw, TxnGen, [&] { return weakLift(ecom(), stxn()); });
 }
 
 const Relation &ExecutionAnalysis::weakLiftComStxn() const {
-  return memo(C.WeakLiftComStxn, [&] { return weakLift(com(), stxn()); });
+  return memo(C.WeakLiftComStxn, TxnGen, [&] { return weakLift(com(), stxn()); });
 }
 
 const Relation &ExecutionAnalysis::strongLiftComStxn() const {
-  return memo(C.StrongLiftComStxn,
+  return memo(C.StrongLiftComStxn, TxnGen,
               [&] { return strongLift(com(), stxn()); });
 }
 
 const Relation &ExecutionAnalysis::strongLiftComStxnAtomic() const {
-  return memo(C.StrongLiftComStxnAtomic,
+  return memo(C.StrongLiftComStxnAtomic, TxnGen,
               [&] { return strongLift(com(), stxnAtomic()); });
 }

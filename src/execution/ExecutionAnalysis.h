@@ -35,6 +35,8 @@
 
 #include "execution/Execution.h"
 
+#include <deque>
+
 namespace tmw {
 
 /// Number of `FenceKind` enumerators (index bound for per-flavour caches).
@@ -65,36 +67,28 @@ public:
   ExecutionAnalysis &operator=(const ExecutionAnalysis &O) {
     X = O.X;
     Mode = O.Mode;
-    C = Caches();
-    Recomputes = 0;
+    invalidateAll();
     return *this;
   }
 
   /// Retarget this analysis onto \p NewX, dropping all cached state. Lets
-  /// a per-shard arena serve many candidates without reallocation.
+  /// a per-shard (or per-relaxation-child) arena serve many candidates
+  /// without reallocation: invalidation bumps two generation counters
+  /// instead of clearing the ~25 KB cache block.
   void reset(const Execution &NewX) {
     X = &NewX;
-    C = Caches();
-    Recomputes = 0;
+    invalidateAll();
   }
 
   /// Drop only the caches that depend on the transaction labelling
-  /// (`Txn` / `AtomicTxns`): stxn, tfence, the lifted isolation terms, and
-  /// the transactional event sets. The enumerator's placement search
-  /// mutates exactly those fields of a fixed base execution, so a shard's
-  /// arena keeps `fr`/`com`/fence relations across all placements of one
-  /// base and invalidates just this slice per placement.
-  void invalidateTransactionalState() {
-    C.Stxn = {};
-    C.StxnAtomic = {};
-    C.Tfence = {};
-    C.CppTsw = {};
-    C.WeakLiftComStxn = {};
-    C.StrongLiftComStxn = {};
-    C.StrongLiftComStxnAtomic = {};
-    C.Transactional = {};
-    C.AtomicTransactional = {};
-  }
+  /// (`Txn` / `AtomicTxns`): stxn, tfence, the lifted isolation terms, the
+  /// transactional event sets, and the transaction-dependent model terms.
+  /// The enumerator's placement search mutates exactly those fields of a
+  /// fixed base execution, so a shard's arena keeps `fr`/`com`/fence
+  /// relations — and transaction-independent model terms like Power's ppo
+  /// fixpoint — across all placements of one base and invalidates just
+  /// this slice per placement.
+  void invalidateTransactionalState() { ++TxnGen; }
 
   const Execution &execution() const { return *X; }
   unsigned size() const { return X->size(); }
@@ -177,23 +171,87 @@ public:
   Relation external(const Relation &R) const { return R - sameThread(); }
   Relation internal(const Relation &R) const { return R & sameThread(); }
 
+  //===--------------------------------------------------------------------===
+  // Model-term memoization.
+  //===--------------------------------------------------------------------===
+
+  /// Memoize a *model-specific* compound relation (an architecture's
+  /// happens-before, Power's ppo fixpoint, a psc instance, ...) that the
+  /// fixed accessors above cannot know about. \p Tag is an address with
+  /// static storage duration, unique to the term; \p Salt distinguishes
+  /// configurations of the same term (typically the relevant `AxiomMask`
+  /// bits). \p TxnDependent says whether the term reads the transaction
+  /// labelling: transaction-dependent entries die with
+  /// `invalidateTransactionalState()`, independent ones survive until
+  /// `reset()`. As everywhere in this class, memoization is skipped in
+  /// `Recompute` mode and the call is not thread-safe.
+  template <typename Fn>
+  const Relation &memoTerm(const void *Tag, uint64_t Salt,
+                           bool TxnDependent, Fn &&Compute) const {
+    uint64_t Gen = TxnDependent ? TxnGen : StructGen;
+    if (Mode != AnalysisCaching::Recompute)
+      for (TermEntry &E : Terms)
+        if (E.Tag == Tag && E.Salt == Salt &&
+            E.TxnDependent == TxnDependent && E.Gen == Gen)
+          return E.Value;
+    // Compute before touching the table: nested terms (prop over hb, say)
+    // re-enter memoTerm and may grow `Terms`, so no entry pointer can be
+    // held across the computation. (Returned references stay valid —
+    // `Terms` is a deque, which never relocates existing entries on
+    // emplace_back, and eviction only overwrites *stale* entries, which
+    // no live caller can still reference: generations only advance
+    // between checks.)
+    Relation Value = Compute();
+    ++Recomputes;
+    TermEntry *Free = nullptr;
+    for (TermEntry &E : Terms) {
+      if (E.Tag == Tag && E.Salt == Salt &&
+          E.TxnDependent == TxnDependent) {
+        Free = &E; // recompute in place (stale, or Recompute mode)
+        break;
+      }
+      if (!Free && E.Gen != (E.TxnDependent ? TxnGen : StructGen))
+        Free = &E; // any stale entry may be evicted
+    }
+    if (!Free)
+      Free = &Terms.emplace_back();
+    Free->Tag = Tag;
+    Free->Salt = Salt;
+    Free->TxnDependent = TxnDependent;
+    Free->Gen = Gen;
+    Free->Value = std::move(Value);
+    return Free->Value;
+  }
+
 private:
+  /// A memoization slot is valid when its stamp matches the owning
+  /// generation counter, so invalidation is a counter bump rather than a
+  /// sweep over the cached values. Counters start at 1; default-initialised
+  /// slots (stamp 0) are invalid.
   template <typename T> struct Slot {
     T Value{};
-    bool Valid = false;
+    uint64_t Gen = 0;
   };
 
   template <typename T, typename Fn>
-  const T &memo(Slot<T> &S, Fn &&Compute) const {
-    if (!S.Valid || Mode == AnalysisCaching::Recompute) {
+  const T &memo(Slot<T> &S, uint64_t Gen, Fn &&Compute) const {
+    if (S.Gen != Gen || Mode == AnalysisCaching::Recompute) {
       S.Value = Compute();
-      S.Valid = true;
+      S.Gen = Gen;
       ++Recomputes;
     }
     return S.Value;
   }
 
-  /// All cached state, value-resettable in one assignment.
+  void invalidateAll() {
+    ++StructGen;
+    ++TxnGen;
+    Recomputes = 0;
+  }
+
+  /// All cached state. Slots stamped with `StructGen` depend only on the
+  /// structural part of the execution; slots stamped with `TxnGen`
+  /// additionally read the transaction labelling.
   struct Caches {
     Slot<EventSet> Reads, Writes, Fences, Accesses, Atomics, Acquires,
         Releases, SeqCst, Transactional, AtomicTransactional;
@@ -206,10 +264,28 @@ private:
         StrongLiftComStxnAtomic;
   };
 
+  /// One memoized model term (see `memoTerm`).
+  struct TermEntry {
+    const void *Tag = nullptr;
+    uint64_t Salt = 0;
+    uint64_t Gen = 0;
+    bool TxnDependent = false;
+    Relation Value;
+  };
+
   const Execution *X;
   AnalysisCaching Mode;
+  /// Bumped by reset()/assignment: invalidates every slot and term.
+  mutable uint64_t StructGen = 1;
+  /// Bumped additionally by invalidateTransactionalState().
+  mutable uint64_t TxnGen = 1;
   mutable uint64_t Recomputes = 0;
   mutable Caches C;
+  /// Deque, not vector: memoTerm hands out references into the entries,
+  /// and nested memoTerm calls append — a vector's reallocation would
+  /// invalidate every outstanding reference (ASan-confirmed when this was
+  /// a vector).
+  mutable std::deque<TermEntry> Terms;
 };
 
 } // namespace tmw

@@ -4,19 +4,26 @@
 
 using namespace tmw;
 
+namespace {
+
+Relation noLoadBuffering(const ExecutionAnalysis &A, AxiomMask) {
+  return A.po() | A.rf();
+}
+
+} // namespace
+
 ImplModel::ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
                      const char *Name)
-    : Spec(std::move(Spec)), NoLoadBuffering(NoLoadBuffering), Label(Name) {}
-
-ConsistencyResult ImplModel::check(const ExecutionAnalysis &A) const {
-  // The spec model shares this analysis, so its derived relations are
-  // computed once across both layers.
-  ConsistencyResult R = Spec->check(A);
-  if (!R.Consistent)
-    return R;
-  if (NoLoadBuffering && !(A.po() | A.rf()).isAcyclic())
-    return ConsistencyResult::fail("NoLoadBuffering(impl)");
-  return ConsistencyResult::ok();
+    : Spec(std::move(Spec)), Label(Name) {
+  AxiomList SpecAxioms = this->Spec->axioms();
+  Axioms.assign(SpecAxioms.begin(), SpecAxioms.end());
+  Axioms.push_back(
+      {"NoLoadBuffering(impl)", AxiomKind::Acyclic, noLoadBuffering});
+  // Inherit the spec's configuration; the appended implementation axiom
+  // sits past the spec's indices, so the spec's term functions keep
+  // reading their own bits.
+  Mask = this->Spec->axiomMask();
+  Mask.set(static_cast<unsigned>(Axioms.size() - 1), NoLoadBuffering);
 }
 
 ImplModel ImplModel::power8() {

@@ -9,6 +9,12 @@
 /// deliberate *bug* (an ARMv8 "RTL prototype" violating TxnOrder), so the
 /// Forbid suite can demonstrate its bug-finding power.
 ///
+/// The wrapper is itself declarative: its axiom list is the wrapped
+/// spec's list with a final `NoLoadBuffering(impl)` axiom appended
+/// (acyclic(po u rf)), and its mask inherits the spec's configuration, so
+/// the generic check engine evaluates implementation models like any
+/// other.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_HW_IMPLMODEL_H
@@ -19,6 +25,7 @@
 #include "models/PowerModel.h"
 
 #include <memory>
+#include <vector>
 
 namespace tmw {
 
@@ -33,7 +40,9 @@ public:
 
   const char *name() const override { return Label; }
   Arch arch() const override { return Spec->arch(); }
-  ConsistencyResult check(const ExecutionAnalysis &A) const override;
+  /// The spec's axioms plus the implementation axiom (spec indices — and
+  /// hence mask bits — are preserved by appending).
+  AxiomList axioms() const override { return Axioms; }
 
   /// A conservative POWER8-like machine: the Power+TM model with no load
   /// buffering.
@@ -46,7 +55,7 @@ public:
 
 private:
   std::unique_ptr<MemoryModel> Spec;
-  bool NoLoadBuffering;
+  std::vector<Axiom> Axioms;
   const char *Label;
 };
 

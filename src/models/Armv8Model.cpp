@@ -4,80 +4,107 @@
 
 using namespace tmw;
 
-const char *Armv8Model::name() const {
-  return (Cfg.Tfence || Cfg.StrongIsol || Cfg.TxnOrder || Cfg.TxnCancelsRmw)
-             ? "ARMv8+TM"
-             : "ARMv8";
+namespace {
+
+/// Indices into `Armv8Axioms` (= `AxiomMask` bit positions).
+enum : unsigned { kCoherence, kTfence, kOrder, kRMWIsol, kStrongIsol,
+                  kTxnOrder, kTxnCancelsRMW };
+
+constexpr char ObBaseTag = 0;
+
+/// The transaction-free part of ordered-before: obs u dob u aob u bob.
+/// Transaction-independent, so one computation serves every placement
+/// over a base execution.
+const Relation &obBase(const ExecutionAnalysis &A) {
+  return A.memoTerm(&ObBaseTag, 0, /*TxnDependent=*/false, [&] {
+    unsigned N = A.size();
+    EventSet R = A.reads(), W = A.writes();
+    // Acq: acquire reads (LDAR/LDAXR); L: release writes (STLR).
+    EventSet Acq = A.acquires() & R;
+    EventSet L = A.releases() & W;
+    Relation IdA = Relation::identityOn(Acq, N);
+    Relation IdL = Relation::identityOn(L, N);
+    Relation IdR = Relation::identityOn(R, N);
+    Relation IdW = Relation::identityOn(W, N);
+
+    // Observed-by: external communication.
+    Relation Obs = A.external(A.com());
+
+    // Dependency-ordered-before.
+    Relation IsbId = Relation::identityOn(A.fences(FenceKind::Isb), N);
+    Relation IsbBefore =
+        (A.ctrl() | A.addr().compose(A.po())).compose(IsbId).compose(A.po())
+            .compose(IdR);
+    Relation Dob = A.addr() | A.data();
+    Dob |= A.ctrl().compose(IdW);
+    Dob |= IsbBefore;
+    Dob |= A.addr().compose(A.po()).compose(IdW);
+    Dob |= (A.ctrl() | A.data()).compose(A.coi());
+    Dob |= (A.addr() | A.data()).compose(A.rfi());
+
+    // Atomic-ordered-before.
+    Relation Aob = A.rmw();
+    Aob |= Relation::identityOn(A.rmw().range(), N).compose(A.rfi())
+               .compose(IdA);
+
+    // Barrier-ordered-before.
+    Relation DmbId = Relation::identityOn(A.fences(FenceKind::Dmb), N);
+    Relation DmbLdId = Relation::identityOn(A.fences(FenceKind::DmbLd), N);
+    Relation DmbStId = Relation::identityOn(A.fences(FenceKind::DmbSt), N);
+    Relation Bob = A.po().compose(DmbId).compose(A.po());
+    Bob |= IdL.compose(A.po()).compose(IdA);
+    Bob |= IdR.compose(A.po()).compose(DmbLdId).compose(A.po());
+    Bob |= IdA.compose(A.po());
+    Bob |= IdW.compose(A.po()).compose(DmbStId).compose(A.po()).compose(IdW);
+    Bob |= A.po().compose(IdL);
+    Bob |= A.po().compose(IdL).compose(A.coi());
+
+    return Obs | Dob | Aob | Bob;
+  });
 }
 
-Relation Armv8Model::orderedBefore(const ExecutionAnalysis &A) const {
-  unsigned N = A.size();
-  EventSet R = A.reads(), W = A.writes();
-  // Acq: acquire reads (LDAR/LDAXR); L: release writes (STLR).
-  EventSet Acq = A.acquires() & R;
-  EventSet L = A.releases() & W;
-  Relation IdA = Relation::identityOn(Acq, N);
-  Relation IdL = Relation::identityOn(L, N);
-  Relation IdR = Relation::identityOn(R, N);
-  Relation IdW = Relation::identityOn(W, N);
-
-  // Observed-by: external communication.
-  Relation Obs = A.external(A.com());
-
-  // Dependency-ordered-before.
-  Relation IsbId = Relation::identityOn(A.fences(FenceKind::Isb), N);
-  Relation IsbBefore =
-      (A.ctrl() | A.addr().compose(A.po())).compose(IsbId).compose(A.po())
-          .compose(IdR);
-  Relation Dob = A.addr() | A.data();
-  Dob |= A.ctrl().compose(IdW);
-  Dob |= IsbBefore;
-  Dob |= A.addr().compose(A.po()).compose(IdW);
-  Dob |= (A.ctrl() | A.data()).compose(A.coi());
-  Dob |= (A.addr() | A.data()).compose(A.rfi());
-
-  // Atomic-ordered-before.
-  Relation Aob = A.rmw();
-  Aob |= Relation::identityOn(A.rmw().range(), N).compose(A.rfi())
-             .compose(IdA);
-
-  // Barrier-ordered-before.
-  Relation DmbId = Relation::identityOn(A.fences(FenceKind::Dmb), N);
-  Relation DmbLdId = Relation::identityOn(A.fences(FenceKind::DmbLd), N);
-  Relation DmbStId = Relation::identityOn(A.fences(FenceKind::DmbSt), N);
-  Relation Bob = A.po().compose(DmbId).compose(A.po());
-  Bob |= IdL.compose(A.po()).compose(IdA);
-  Bob |= IdR.compose(A.po()).compose(DmbLdId).compose(A.po());
-  Bob |= IdA.compose(A.po());
-  Bob |= IdW.compose(A.po()).compose(DmbStId).compose(A.po()).compose(IdW);
-  Bob |= A.po().compose(IdL);
-  Bob |= A.po().compose(IdL).compose(A.coi());
-
-  Relation Ob = Obs | Dob | Aob | Bob;
-  if (Cfg.Tfence)
+Relation ob(const ExecutionAnalysis &A, AxiomMask M) {
+  Relation Ob = obBase(A);
+  if (M.test(kTfence))
     Ob |= A.tfence();
   return Ob;
 }
 
-ConsistencyResult Armv8Model::check(const ExecutionAnalysis &A) const {
-  const Relation &Com = A.com();
-  if (!(A.poLoc() | Com).isAcyclic())
-    return ConsistencyResult::fail("Coherence");
+Relation txnOrder(const ExecutionAnalysis &A, AxiomMask M) {
+  return strongLift(ob(A, M), A.stxn());
+}
 
-  Relation Ob = orderedBefore(A);
-  if (!Ob.isAcyclic())
-    return ConsistencyResult::fail("Order");
+Relation txnCancelsRmw(const ExecutionAnalysis &A, AxiomMask) {
+  return A.rmw() & A.tfence().transitiveClosure();
+}
 
-  if (!(A.rmw() & A.fre().compose(A.coe())).isEmpty())
-    return ConsistencyResult::fail("RMWIsol");
+const Axiom Armv8Axioms[] = {
+    {"Coherence", AxiomKind::Acyclic, terms::coherence},
+    {"tfence", AxiomKind::Acyclic, terms::tfence, /*Tm=*/true,
+     /*Modifier=*/true},
+    {"Order", AxiomKind::Acyclic, ob},
+    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation},
+    {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true},
+    {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true},
+    {"TxnCancelsRMW", AxiomKind::Empty, txnCancelsRmw, /*Tm=*/true},
+};
 
-  if (Cfg.StrongIsol && !A.strongLiftComStxn().isAcyclic())
-    return ConsistencyResult::fail("StrongIsol");
-  if (Cfg.TxnOrder && !strongLift(Ob, A.stxn()).isAcyclic())
-    return ConsistencyResult::fail("TxnOrder");
-  if (Cfg.TxnCancelsRmw &&
-      !(A.rmw() & A.tfence().transitiveClosure()).isEmpty())
-    return ConsistencyResult::fail("TxnCancelsRMW");
+} // namespace
 
-  return ConsistencyResult::ok();
+Armv8Model::Armv8Model(Config C) {
+  Mask.set(kTfence, C.Tfence);
+  Mask.set(kStrongIsol, C.StrongIsol);
+  Mask.set(kTxnOrder, C.TxnOrder);
+  Mask.set(kTxnCancelsRMW, C.TxnCancelsRmw);
+}
+
+AxiomList Armv8Model::axioms() const { return Armv8Axioms; }
+
+Relation Armv8Model::orderedBefore(const ExecutionAnalysis &A) const {
+  return ob(A, Mask);
+}
+
+Armv8Model::Config Armv8Model::config() const {
+  return {Mask.test(kTfence), Mask.test(kStrongIsol), Mask.test(kTxnOrder),
+          Mask.test(kTxnCancelsRMW)};
 }

@@ -8,6 +8,9 @@
 /// relation, and TxnCancelsRMW for exclusives straddling a transaction
 /// boundary.
 ///
+/// Axioms: Coherence, tfence (TM modifier), Order, RMWIsol,
+///         StrongIsol (TM), TxnOrder (TM), TxnCancelsRMW (TM).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_MODELS_ARMV8MODEL_H
@@ -20,6 +23,7 @@ namespace tmw {
 /// ARMv8 (Fig. 8). Default configuration enables all TM axioms.
 class Armv8Model : public MemoryModel {
 public:
+  /// Thin shim lowering onto the named-axiom mask.
   struct Config {
     bool Tfence = true;
     bool StrongIsol = true;
@@ -31,19 +35,18 @@ public:
   };
 
   Armv8Model() = default;
-  explicit Armv8Model(Config C) : Cfg(C) {}
+  explicit Armv8Model(Config C);
 
-  const char *name() const override;
+  const char *name() const override {
+    return anyTmEnabled() ? "ARMv8+TM" : "ARMv8";
+  }
   Arch arch() const override { return Arch::Armv8; }
-  ConsistencyResult check(const ExecutionAnalysis &A) const override;
+  AxiomList axioms() const override;
 
   /// The ordered-before relation (ob) of Fig. 8 under this configuration.
   Relation orderedBefore(const ExecutionAnalysis &A) const;
 
-  const Config &config() const { return Cfg; }
-
-private:
-  Config Cfg;
+  Config config() const;
 };
 
 } // namespace tmw

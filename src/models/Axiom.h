@@ -1,0 +1,126 @@
+//===- Axiom.h - Declarative consistency axioms -----------------*- C++ -*-==//
+///
+/// \file
+/// First-class axioms, in the style of Alglave et al.'s `cat` language
+/// (*Herding Cats*, TOPLAS 2014): every memory model in this library is a
+/// list of named `acyclic` / `irreflexive` / `empty` constraints over
+/// relational terms derived from one execution. A concrete model exposes
+/// its list via `MemoryModel::axioms()`; one generic engine evaluates the
+/// enabled axioms, so ablation, diagnostics, and model selection are
+/// uniform across all six models instead of six hand-written `check()`
+/// bodies.
+///
+/// Two kinds of entries appear in an axiom table:
+///
+///  * *checked* axioms — the engine evaluates `Kind` over `Term` and the
+///    model is consistent when every enabled one holds;
+///  * *modifier* axioms (`Modifier = true`) — named toggles whose term is
+///    injected into *other* axioms' compound relations (e.g. the implicit
+///    transaction fences `tfence` strengthen an architecture's
+///    happens-before). The engine never fails a modifier on its own; the
+///    toggle's effect is that compound terms consult the `AxiomMask`.
+///
+/// Axiom names are string literals with static storage duration: every
+/// `std::string_view` handed out by the check engine (including
+/// `ConsistencyResult::FailedAxiom`) points into these tables and stays
+/// valid for the lifetime of the program. Names are also NUL-terminated,
+/// so `Name.data()` is safe to pass to C-style formatting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_MODELS_AXIOM_H
+#define TMW_MODELS_AXIOM_H
+
+#include "relation/Relation.h"
+
+#include <span>
+#include <string_view>
+
+namespace tmw {
+
+class ExecutionAnalysis;
+
+/// The constraint form of a checked axiom (the three judgement forms of
+/// the cat framework).
+enum class AxiomKind : uint8_t {
+  Acyclic,     ///< `acyclic term`: no cycle (of length >= 1).
+  Irreflexive, ///< `irreflexive term`: no (e, e) pair.
+  Empty,       ///< `empty term`: no pair at all.
+};
+
+/// Human-readable kind name ("acyclic", "irreflexive", "empty").
+const char *axiomKindName(AxiomKind K);
+
+/// Which axioms of one model's `axioms()` list are enabled. Bit `I`
+/// corresponds to index `I` in the list; the default mask enables
+/// everything, so a mask is meaningful without knowing the list length.
+class AxiomMask {
+public:
+  constexpr AxiomMask() = default;
+
+  /// All axioms enabled (the default model).
+  static constexpr AxiomMask all() { return AxiomMask(); }
+  /// No axiom enabled.
+  static constexpr AxiomMask none() { return AxiomMask(0); }
+
+  constexpr bool test(unsigned I) const { return (Bits >> I) & 1; }
+  constexpr AxiomMask &set(unsigned I, bool On = true) {
+    if (On)
+      Bits |= uint32_t(1) << I;
+    else
+      Bits &= ~(uint32_t(1) << I);
+    return *this;
+  }
+
+  /// Raw bits — used as the memoization salt for mask-dependent terms.
+  constexpr uint32_t bits() const { return Bits; }
+
+  /// The mask with bits at and above \p NumAxioms cleared, so that masks
+  /// over the same axiom list compare equal iff they enable the same
+  /// axioms (the default mask has all 32 bits set).
+  constexpr AxiomMask normalized(unsigned NumAxioms) const {
+    uint32_t Keep = NumAxioms >= 32 ? ~uint32_t(0)
+                                    : ((uint32_t(1) << NumAxioms) - 1);
+    return AxiomMask(Bits & Keep);
+  }
+
+  constexpr bool operator==(const AxiomMask &O) const = default;
+
+private:
+  constexpr explicit AxiomMask(uint32_t Bits) : Bits(Bits) {}
+  uint32_t Bits = ~uint32_t(0);
+};
+
+/// One named axiom of a model: a constraint kind over a relational term.
+///
+/// Terms receive the model's enabled-axiom mask so that compound relations
+/// can consult the modifier toggles (indices are the term's own model's
+/// table positions). Term functions are stateless function pointers —
+/// axiom tables are static, shared by every instance of a model, and the
+/// names they intern outlive every `ConsistencyResult`.
+struct Axiom {
+  /// Interned name (a NUL-terminated literal in the model's static table).
+  std::string_view Name;
+  AxiomKind Kind;
+  /// The relational term the constraint is phrased over.
+  Relation (*Term)(const ExecutionAnalysis &A, AxiomMask Enabled);
+  /// Part of the TM extension: disabled by the baseline mask (the
+  /// non-transactional model used when synthesising Forbid suites).
+  bool Tm = false;
+  /// Contributes its term to other axioms' compound relations instead of
+  /// being checked on its own (see file comment).
+  bool Modifier = false;
+};
+
+/// A model's axiom list: a view of its static table.
+using AxiomList = std::span<const Axiom>;
+
+/// Index of the axiom named \p Name in \p Axioms, or -1. Exact match.
+int findAxiom(AxiomList Axioms, std::string_view Name);
+
+/// The baseline mask over \p Axioms: every TM axiom disabled.
+AxiomMask baselineMask(AxiomList Axioms);
+
+} // namespace tmw
+
+#endif // TMW_MODELS_AXIOM_H

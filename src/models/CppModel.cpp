@@ -4,7 +4,83 @@
 
 using namespace tmw;
 
-const char *CppModel::name() const { return Cfg.Tsw ? "C+++TM" : "C++"; }
+namespace {
+
+/// Indices into `CppAxioms` (= `AxiomMask` bit positions).
+enum : unsigned { kTsw, kHbCom, kRMWIsol, kNoThinAir, kSeqCst };
+
+constexpr char HbTag = 0, PscTag = 0;
+constexpr uint32_t kHbSalt = 1u << kTsw;
+
+Relation tswTerm(const ExecutionAnalysis &A, AxiomMask) {
+  return A.cppTransactionalSw();
+}
+
+const Relation &hb(const ExecutionAnalysis &A, AxiomMask M) {
+  bool Tsw = M.test(kTsw);
+  return A.memoTerm(&HbTag, M.bits() & kHbSalt, /*TxnDependent=*/Tsw,
+                    [&] {
+    Relation Sw = A.cppSynchronisesWith();
+    if (Tsw)
+      Sw |= A.cppTransactionalSw();
+    return (Sw | A.po()).transitiveClosure();
+  });
+}
+
+Relation hbCom(const ExecutionAnalysis &A, AxiomMask M) {
+  return hb(A, M).compose(A.com().reflexiveTransitiveClosure());
+}
+
+Relation noThinAir(const ExecutionAnalysis &A, AxiomMask) {
+  return A.po() | A.rf();
+}
+
+/// psc (RC11): scb glued between SC-fence/SC-access endpoints.
+const Relation &psc(const ExecutionAnalysis &A, AxiomMask M) {
+  return A.memoTerm(&PscTag, M.bits() & kHbSalt,
+                    /*TxnDependent=*/M.test(kTsw), [&] {
+    unsigned N = A.size();
+    const Relation &Hb = hb(A, M);
+    Relation HbOpt = Hb.optional();
+    Relation Eco = A.com().transitiveClosure();
+    const Relation &Sloc = A.sloc();
+
+    EventSet Sc = A.seqCst();
+    EventSet Fsc = Sc & A.fences();
+    Relation IdSc = Relation::identityOn(Sc, N);
+    Relation IdFsc = Relation::identityOn(Fsc, N);
+
+    // scb = po u (po \ sloc ; hb ; po \ sloc) u (hb n sloc) u co u fr.
+    Relation PoNonLoc = A.po() - Sloc;
+    Relation Scb = A.po() | PoNonLoc.compose(Hb).compose(PoNonLoc) |
+                   (Hb & Sloc) | A.co() | A.fr();
+
+    Relation Left = IdSc | IdFsc.compose(HbOpt);
+    Relation Right = IdSc | HbOpt.compose(IdFsc);
+    Relation PscBase = Left.compose(Scb).compose(Right);
+    Relation PscF =
+        IdFsc.compose(Hb | Hb.compose(Eco).compose(Hb)).compose(IdFsc);
+    return PscBase | PscF;
+  });
+}
+
+Relation seqCst(const ExecutionAnalysis &A, AxiomMask M) {
+  return psc(A, M);
+}
+
+const Axiom CppAxioms[] = {
+    {"Tsw", AxiomKind::Acyclic, tswTerm, /*Tm=*/true, /*Modifier=*/true},
+    {"HbCom", AxiomKind::Irreflexive, hbCom},
+    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation},
+    {"NoThinAir", AxiomKind::Acyclic, noThinAir},
+    {"SeqCst", AxiomKind::Acyclic, seqCst},
+};
+
+} // namespace
+
+CppModel::CppModel(Config C) { Mask.set(kTsw, C.Tsw); }
+
+AxiomList CppModel::axioms() const { return CppAxioms; }
 
 Relation CppModel::synchronisesWith(const ExecutionAnalysis &A) const {
   return A.cppSynchronisesWith();
@@ -15,39 +91,11 @@ Relation CppModel::transactionalSw(const ExecutionAnalysis &A) const {
 }
 
 Relation CppModel::happensBefore(const ExecutionAnalysis &A) const {
-  Relation Sw = A.cppSynchronisesWith();
-  if (Cfg.Tsw)
-    Sw |= A.cppTransactionalSw();
-  return (Sw | A.po()).transitiveClosure();
-}
-
-Relation CppModel::pscFrom(const ExecutionAnalysis &A,
-                           const Relation &Hb) const {
-  unsigned N = A.size();
-  Relation HbOpt = Hb.optional();
-  Relation Eco = A.com().transitiveClosure();
-  const Relation &Sloc = A.sloc();
-
-  EventSet Sc = A.seqCst();
-  EventSet Fsc = Sc & A.fences();
-  Relation IdSc = Relation::identityOn(Sc, N);
-  Relation IdFsc = Relation::identityOn(Fsc, N);
-
-  // scb = po u (po \ sloc ; hb ; po \ sloc) u (hb n sloc) u co u fr.
-  Relation PoNonLoc = A.po() - Sloc;
-  Relation Scb = A.po() | PoNonLoc.compose(Hb).compose(PoNonLoc) |
-                 (Hb & Sloc) | A.co() | A.fr();
-
-  Relation Left = IdSc | IdFsc.compose(HbOpt);
-  Relation Right = IdSc | HbOpt.compose(IdFsc);
-  Relation PscBase = Left.compose(Scb).compose(Right);
-  Relation PscF =
-      IdFsc.compose(Hb | Hb.compose(Eco).compose(Hb)).compose(IdFsc);
-  return PscBase | PscF;
+  return hb(A, Mask);
 }
 
 Relation CppModel::psc(const ExecutionAnalysis &A) const {
-  return pscFrom(A, happensBefore(A));
+  return ::psc(A, Mask);
 }
 
 Relation CppModel::conflicts(const ExecutionAnalysis &A) const {
@@ -68,21 +116,4 @@ bool CppModel::raceFree(const ExecutionAnalysis &A) const {
   return Races.isEmpty();
 }
 
-ConsistencyResult CppModel::check(const ExecutionAnalysis &A) const {
-  Relation Hb = happensBefore(A);
-  const Relation &Com = A.com();
-
-  if (!Hb.compose(Com.reflexiveTransitiveClosure()).isIrreflexive())
-    return ConsistencyResult::fail("HbCom");
-
-  if (!(A.rmw() & A.fre().compose(A.coe())).isEmpty())
-    return ConsistencyResult::fail("RMWIsol");
-
-  if (!(A.po() | A.rf()).isAcyclic())
-    return ConsistencyResult::fail("NoThinAir");
-
-  if (!pscFrom(A, Hb).isAcyclic())
-    return ConsistencyResult::fail("SeqCst");
-
-  return ConsistencyResult::ok();
-}
+CppModel::Config CppModel::config() const { return {Mask.test(kTsw)}; }

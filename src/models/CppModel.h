@@ -10,6 +10,8 @@
 /// The model defines two predicates: consistency, and race-freedom
 /// (NoRace). A program with a racy consistent execution is undefined.
 ///
+/// Axioms: Tsw (TM modifier), HbCom, RMWIsol, NoThinAir, SeqCst.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_MODELS_CPPMODEL_H
@@ -22,6 +24,7 @@ namespace tmw {
 /// C++ (Fig. 9). Default configuration enables the TM extension.
 class CppModel : public MemoryModel {
 public:
+  /// Thin shim lowering onto the named-axiom mask.
   struct Config {
     /// Transactional synchronisation: hb includes tsw.
     bool Tsw = true;
@@ -30,11 +33,13 @@ public:
   };
 
   CppModel() = default;
-  explicit CppModel(Config C) : Cfg(C) {}
+  explicit CppModel(Config C);
 
-  const char *name() const override;
+  const char *name() const override {
+    return anyTmEnabled() ? "C+++TM" : "C++";
+  }
   Arch arch() const override { return Arch::Cpp; }
-  ConsistencyResult check(const ExecutionAnalysis &A) const override;
+  AxiomList axioms() const override;
 
   /// Happens-before: (sw u tsw u po)+.
   Relation happensBefore(const ExecutionAnalysis &A) const;
@@ -50,14 +55,7 @@ public:
   /// NoRace: conflicting non-atomic-pair events must be hb-ordered.
   bool raceFree(const ExecutionAnalysis &A) const;
 
-  const Config &config() const { return Cfg; }
-
-private:
-  /// psc with an already-computed happens-before (check() derives hb once
-  /// and shares it between the HbCom and SeqCst axioms).
-  Relation pscFrom(const ExecutionAnalysis &A, const Relation &Hb) const;
-
-  Config Cfg;
+  Config config() const;
 };
 
 } // namespace tmw

@@ -1,10 +1,145 @@
 //===- MemoryModel.cpp - Axiomatic consistency predicates -------------------==//
+///
+/// The generic axiom-check engine: every model is evaluated by the same
+/// loop over its declarative axiom list.
+///
+//===----------------------------------------------------------------------===//
 
 #include "models/MemoryModel.h"
 
 using namespace tmw;
 
+const char *tmw::axiomKindName(AxiomKind K) {
+  switch (K) {
+  case AxiomKind::Acyclic:
+    return "acyclic";
+  case AxiomKind::Irreflexive:
+    return "irreflexive";
+  case AxiomKind::Empty:
+    return "empty";
+  }
+  return "?";
+}
+
+int tmw::findAxiom(AxiomList Axioms, std::string_view Name) {
+  for (unsigned I = 0; I < Axioms.size(); ++I)
+    if (Axioms[I].Name == Name)
+      return static_cast<int>(I);
+  return -1;
+}
+
+AxiomMask tmw::baselineMask(AxiomList Axioms) {
+  AxiomMask M = AxiomMask::all();
+  for (unsigned I = 0; I < Axioms.size(); ++I)
+    if (Axioms[I].Tm)
+      M.set(I, false);
+  return M;
+}
+
 MemoryModel::~MemoryModel() = default;
+
+bool MemoryModel::setAxiomEnabled(std::string_view Name, bool On) {
+  int I = findAxiom(axioms(), Name);
+  if (I < 0)
+    return false;
+  Mask.set(static_cast<unsigned>(I), On);
+  return true;
+}
+
+bool MemoryModel::axiomEnabled(std::string_view Name) const {
+  int I = findAxiom(axioms(), Name);
+  return I >= 0 && Mask.test(static_cast<unsigned>(I));
+}
+
+bool MemoryModel::anyTmEnabled() const {
+  AxiomList Axs = axioms();
+  for (unsigned I = 0; I < Axs.size(); ++I)
+    if (Axs[I].Tm && Mask.test(I))
+      return true;
+  return false;
+}
+
+namespace {
+
+bool axiomHolds(AxiomKind K, const Relation &Term) {
+  switch (K) {
+  case AxiomKind::Acyclic:
+    return Term.isAcyclic();
+  case AxiomKind::Irreflexive:
+    return Term.isIrreflexive();
+  case AxiomKind::Empty:
+    return Term.isEmpty();
+  }
+  return true;
+}
+
+EventSet witnessOf(AxiomKind K, const Relation &Term) {
+  switch (K) {
+  case AxiomKind::Acyclic:
+    return Term.findCycle();
+  case AxiomKind::Irreflexive:
+    return Term.reflexivePoints().first();
+  case AxiomKind::Empty:
+    return Term.field();
+  }
+  return {};
+}
+
+} // namespace
+
+ConsistencyResult MemoryModel::check(const ExecutionAnalysis &A) const {
+  AxiomList Axs = axioms();
+  for (unsigned I = 0; I < Axs.size(); ++I) {
+    const Axiom &Ax = Axs[I];
+    if (Ax.Modifier || !Mask.test(I))
+      continue;
+    if (!axiomHolds(Ax.Kind, Ax.Term(A, Mask)))
+      return ConsistencyResult::fail(Ax.Name);
+  }
+  return ConsistencyResult::ok();
+}
+
+CheckReport MemoryModel::checkAll(const ExecutionAnalysis &A) const {
+  AxiomList Axs = axioms();
+  CheckReport Report;
+  Report.Verdicts.reserve(Axs.size());
+  for (unsigned I = 0; I < Axs.size(); ++I) {
+    const Axiom &Ax = Axs[I];
+    AxiomVerdict V;
+    V.Ax = &Ax;
+    V.Enabled = Mask.test(I);
+    if (V.Enabled && !Ax.Modifier) {
+      Relation Term = Ax.Term(A, Mask);
+      V.Holds = axiomHolds(Ax.Kind, Term);
+      if (!V.Holds) {
+        V.Witness = witnessOf(Ax.Kind, Term);
+        if (Report.Consistent) {
+          Report.Consistent = false;
+          Report.FailedAxiom = Ax.Name;
+        }
+      }
+    }
+    Report.Verdicts.push_back(V);
+  }
+  return Report;
+}
+
+Relation tmw::terms::coherence(const ExecutionAnalysis &A, AxiomMask) {
+  return A.poLoc() | A.com();
+}
+
+Relation tmw::terms::rmwIsolation(const ExecutionAnalysis &A, AxiomMask) {
+  return A.rmw() & A.fre().compose(A.coe());
+}
+
+Relation tmw::terms::strongIsolation(const ExecutionAnalysis &A,
+                                     AxiomMask) {
+  return A.strongLiftComStxn();
+}
+
+Relation tmw::terms::tfence(const ExecutionAnalysis &A, AxiomMask) {
+  return A.tfence();
+}
 
 const char *tmw::archName(Arch A) {
   switch (A) {

@@ -1,0 +1,174 @@
+//===- ModelRegistry.cpp - String-addressable model construction -------------==//
+
+#include "models/ModelRegistry.h"
+
+#include "models/Armv8Model.h"
+#include "models/CppModel.h"
+#include "models/PowerModel.h"
+#include "models/ScModel.h"
+#include "models/X86Model.h"
+
+#include <cctype>
+
+using namespace tmw;
+
+namespace {
+
+constexpr Arch kAllArchs[] = {Arch::SC,    Arch::TSC,   Arch::X86,
+                              Arch::Power, Arch::Armv8, Arch::Cpp};
+
+bool equalsIgnoreCase(std::string_view A, std::string_view B) {
+  if (A.size() != B.size())
+    return false;
+  for (size_t I = 0; I < A.size(); ++I)
+    if (std::tolower(static_cast<unsigned char>(A[I])) !=
+        std::tolower(static_cast<unsigned char>(B[I])))
+      return false;
+  return true;
+}
+
+/// Case-insensitive axiom lookup (spec strings are user input; the table
+/// names keep the paper's capitalisation).
+int findAxiomSpec(AxiomList Axioms, std::string_view Name) {
+  for (unsigned I = 0; I < Axioms.size(); ++I)
+    if (equalsIgnoreCase(Axioms[I].Name, Name))
+      return static_cast<int>(I);
+  return -1;
+}
+
+std::string axiomNamesOf(const MemoryModel &M) {
+  std::string Names;
+  for (const Axiom &Ax : M.axioms()) {
+    if (!Names.empty())
+      Names += ", ";
+    Names += Ax.Name;
+  }
+  return Names;
+}
+
+} // namespace
+
+std::span<const Arch> ModelRegistry::allArchs() { return kAllArchs; }
+
+const char *ModelRegistry::archSpecName(Arch A) {
+  switch (A) {
+  case Arch::SC:
+    return "sc";
+  case Arch::TSC:
+    return "tsc";
+  case Arch::X86:
+    return "x86";
+  case Arch::Power:
+    return "power";
+  case Arch::Armv8:
+    return "armv8";
+  case Arch::Cpp:
+    return "cpp";
+  }
+  return "?";
+}
+
+std::optional<Arch> ModelRegistry::parseArch(std::string_view Token) {
+  for (Arch A : kAllArchs)
+    if (equalsIgnoreCase(Token, archSpecName(A)) ||
+        equalsIgnoreCase(Token, archName(A)))
+      return A;
+  if (equalsIgnoreCase(Token, "arm") || equalsIgnoreCase(Token, "aarch64"))
+    return Arch::Armv8;
+  if (equalsIgnoreCase(Token, "c++"))
+    return Arch::Cpp;
+  return std::nullopt;
+}
+
+std::unique_ptr<MemoryModel> ModelRegistry::make(Arch A) {
+  switch (A) {
+  case Arch::SC:
+    return std::make_unique<ScModel>();
+  case Arch::TSC:
+    return std::make_unique<TscModel>();
+  case Arch::X86:
+    return std::make_unique<X86Model>();
+  case Arch::Power:
+    return std::make_unique<PowerModel>();
+  case Arch::Armv8:
+    return std::make_unique<Armv8Model>();
+  case Arch::Cpp:
+    return std::make_unique<CppModel>();
+  }
+  return nullptr;
+}
+
+std::unique_ptr<MemoryModel> ModelRegistry::parse(std::string_view Spec,
+                                                  std::string *Error) {
+  auto Fail = [&](std::string Message) -> std::unique_ptr<MemoryModel> {
+    if (Error)
+      *Error = std::move(Message);
+    return nullptr;
+  };
+
+  std::string_view ArchToken = Spec.substr(0, Spec.find('/'));
+  std::optional<Arch> A = parseArch(ArchToken);
+  if (!A) {
+    std::string Archs;
+    for (Arch Known : kAllArchs) {
+      if (!Archs.empty())
+        Archs += ", ";
+      Archs += archSpecName(Known);
+    }
+    return Fail("unknown architecture '" + std::string(ArchToken) +
+                "' (expected one of: " + Archs + ")");
+  }
+  std::unique_ptr<MemoryModel> M = make(*A);
+
+  std::string_view Rest =
+      ArchToken.size() == Spec.size() ? std::string_view()
+                                      : Spec.substr(ArchToken.size() + 1);
+  while (!Rest.empty()) {
+    std::string_view Mod = Rest.substr(0, Rest.find('/'));
+    Rest = Mod.size() == Rest.size() ? std::string_view()
+                                     : Rest.substr(Mod.size() + 1);
+    if (Mod.empty())
+      continue;
+    if (equalsIgnoreCase(Mod, "+baseline") ||
+        equalsIgnoreCase(Mod, "baseline")) {
+      M->setAxiomMask(baselineMask(M->axioms()));
+      continue;
+    }
+    if (equalsIgnoreCase(Mod, "+all") || equalsIgnoreCase(Mod, "all")) {
+      M->setAxiomMask(AxiomMask::all());
+      continue;
+    }
+    bool Enable = Mod.front() == '+';
+    if (Mod.front() != '+' && Mod.front() != '-')
+      return Fail("bad modifier '" + std::string(Mod) +
+                  "' (expected +baseline, +all, +name, or -name)");
+    std::string_view Name = Mod.substr(1);
+    int I = findAxiomSpec(M->axioms(), Name);
+    if (I < 0)
+      return Fail("unknown axiom '" + std::string(Name) + "' for " +
+                  archSpecName(*A) + " (axioms: " + axiomNamesOf(*M) + ")");
+    AxiomMask Mask = M->axiomMask();
+    Mask.set(static_cast<unsigned>(I), Enable);
+    M->setAxiomMask(Mask);
+  }
+  if (Error)
+    Error->clear();
+  return M;
+}
+
+std::string ModelRegistry::print(const MemoryModel &M) {
+  std::string Spec = archSpecName(M.arch());
+  AxiomList Axioms = M.axioms();
+  unsigned N = static_cast<unsigned>(Axioms.size());
+  AxiomMask Mask = M.axiomMask().normalized(N);
+  if (Mask == AxiomMask::all().normalized(N))
+    return Spec;
+  if (Mask == baselineMask(Axioms).normalized(N))
+    return Spec + "/+baseline";
+  for (unsigned I = 0; I < N; ++I)
+    if (!Mask.test(I)) {
+      Spec += "/-";
+      Spec += Axioms[I].Name;
+    }
+  return Spec;
+}

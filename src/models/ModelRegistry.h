@@ -1,0 +1,70 @@
+//===- ModelRegistry.h - String-addressable model construction --*- C++ -*-==//
+///
+/// \file
+/// A registry resolving *model spec strings* into configured model
+/// instances, so the CLI, benches, and corpus layers can name any
+/// model × ablation scenario without new code.
+///
+/// Spec grammar (case-insensitive arch and axiom names):
+///
+///   spec  := arch ( "/" mod )*
+///   arch  := "sc" | "tsc" | "x86" | "power"
+///          | "armv8" | "arm" | "aarch64" | "cpp" | "c++"
+///   mod   := "+baseline"        -- disable every TM axiom
+///          | "+all"             -- enable every axiom
+///          | "+" axiom-name     -- enable one axiom
+///          | "-" axiom-name     -- disable one axiom
+///
+/// Modifiers apply left to right, starting from the all-enabled default,
+/// so `"power/-TxnOrder"` is Power with transaction ordering ablated and
+/// `"cpp/+baseline"` is the non-transactional C++ baseline. `print()`
+/// renders a configured model back into a spec that `parse()` round-trips.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_MODELS_MODELREGISTRY_H
+#define TMW_MODELS_MODELREGISTRY_H
+
+#include "models/MemoryModel.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+
+namespace tmw {
+
+/// Registry over the six architecture models (SC, TSC, x86, Power, ARMv8,
+/// C++). Wrapper models like `ImplModel` are out of scope: they are built
+/// in code, not from specs.
+class ModelRegistry {
+public:
+  /// Every registered architecture, in spec-name order.
+  static std::span<const Arch> allArchs();
+
+  /// The canonical (lowercase) spec name of \p A, e.g. "armv8".
+  static const char *archSpecName(Arch A);
+
+  /// Resolve an architecture token (canonical name, `archName` rendering,
+  /// or alias; case-insensitive).
+  static std::optional<Arch> parseArch(std::string_view Token);
+
+  /// The default (all axioms enabled) model for \p A.
+  static std::unique_ptr<MemoryModel> make(Arch A);
+
+  /// Parse a spec string into a configured model. On failure returns
+  /// nullptr and, when \p Error is non-null, stores a message naming the
+  /// offending token and the valid alternatives.
+  static std::unique_ptr<MemoryModel> parse(std::string_view Spec,
+                                            std::string *Error = nullptr);
+
+  /// Canonical spec of \p M: the arch name, then "/+baseline" when the
+  /// mask is exactly the baseline, otherwise one "/-name" per disabled
+  /// axiom. `parse(print(M))` reproduces M's arch and mask. Only
+  /// meaningful for registry-made models (an `ImplModel`'s extra axiom has
+  /// no spec syntax).
+  static std::string print(const MemoryModel &M);
+};
+
+} // namespace tmw
+
+#endif // TMW_MODELS_MODELREGISTRY_H

@@ -12,6 +12,10 @@
 ///  * thb       — the transaction serialisation order (§5.2 (3));
 ///  * StrongIsol, TxnOrder, and TxnCancelsRMW.
 ///
+/// Axioms: Coherence, RMWIsol, tfence/thb/tprop1/tprop2 (TM modifiers),
+///         Order, Propagation, Observation, StrongIsol (TM),
+///         TxnOrder (TM), TxnCancelsRMW (TM).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_MODELS_POWERMODEL_H
@@ -24,6 +28,7 @@ namespace tmw {
 /// Power (Fig. 6). Default configuration enables all TM axioms.
 class PowerModel : public MemoryModel {
 public:
+  /// Thin shim lowering onto the named-axiom mask.
   struct Config {
     bool Tfence = true;
     bool StrongIsol = true;
@@ -43,21 +48,20 @@ public:
   };
 
   PowerModel() = default;
-  explicit PowerModel(Config C) : Cfg(C) {}
+  explicit PowerModel(Config C);
 
-  const char *name() const override;
+  const char *name() const override {
+    return anyTmEnabled() ? "Power+TM" : "Power";
+  }
   Arch arch() const override { return Arch::Power; }
-  ConsistencyResult check(const ExecutionAnalysis &A) const override;
+  AxiomList axioms() const override;
 
   /// Preserved program order (the herding-cats ii/ic/ci/cc fixpoint).
   Relation preservedProgramOrder(const ExecutionAnalysis &A) const;
   /// The happens-before relation of Fig. 6 under this configuration.
   Relation happensBefore(const ExecutionAnalysis &A) const;
 
-  const Config &config() const { return Cfg; }
-
-private:
-  Config Cfg;
+  Config config() const;
 };
 
 } // namespace tmw

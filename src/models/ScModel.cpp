@@ -4,18 +4,27 @@
 
 using namespace tmw;
 
-ConsistencyResult ScModel::check(const ExecutionAnalysis &A) const {
-  Relation Hb = A.po() | A.com();
-  if (!Hb.isAcyclic())
-    return ConsistencyResult::fail("Order");
-  return ConsistencyResult::ok();
+namespace {
+
+Relation scHb(const ExecutionAnalysis &A, AxiomMask) {
+  return A.po() | A.com();
 }
 
-ConsistencyResult TscModel::check(const ExecutionAnalysis &A) const {
-  Relation Hb = A.po() | A.com();
-  if (!Hb.isAcyclic())
-    return ConsistencyResult::fail("Order");
-  if (!strongLift(Hb, A.stxn()).isAcyclic())
-    return ConsistencyResult::fail("TxnOrder");
-  return ConsistencyResult::ok();
+Relation tscTxnOrder(const ExecutionAnalysis &A, AxiomMask M) {
+  return strongLift(scHb(A, M), A.stxn());
 }
+
+const Axiom ScAxioms[] = {
+    {"Order", AxiomKind::Acyclic, scHb},
+};
+
+const Axiom TscAxioms[] = {
+    {"Order", AxiomKind::Acyclic, scHb},
+    {"TxnOrder", AxiomKind::Acyclic, tscTxnOrder, /*Tm=*/true},
+};
+
+} // namespace
+
+AxiomList ScModel::axioms() const { return ScAxioms; }
+
+AxiomList TscModel::axioms() const { return TscAxioms; }

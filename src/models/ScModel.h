@@ -6,6 +6,10 @@
 /// requires whole transactions to appear consecutively in the execution
 /// order, which is captured by forbidding lifted hb cycles (TxnOrder).
 ///
+/// Axioms (see Axiom.h):
+///   SC  : Order
+///   TSC : Order, TxnOrder (TM)
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_MODELS_SCMODEL_H
@@ -20,7 +24,7 @@ class ScModel : public MemoryModel {
 public:
   const char *name() const override { return "SC"; }
   Arch arch() const override { return Arch::SC; }
-  ConsistencyResult check(const ExecutionAnalysis &A) const override;
+  AxiomList axioms() const override;
 };
 
 /// Transactional SC (Fig. 4 with TxnOrder).
@@ -28,7 +32,7 @@ class TscModel : public MemoryModel {
 public:
   const char *name() const override { return "TSC"; }
   Arch arch() const override { return Arch::TSC; }
-  ConsistencyResult check(const ExecutionAnalysis &A) const override;
+  AxiomList axioms() const override;
 };
 
 } // namespace tmw

@@ -4,46 +4,72 @@
 
 using namespace tmw;
 
-const char *X86Model::name() const {
-  return (Cfg.Tfence || Cfg.StrongIsol || Cfg.TxnOrder) ? "x86+TM" : "x86";
+namespace {
+
+/// Indices into `X86Axioms` (= `AxiomMask` bit positions).
+enum : unsigned { kCoherence, kRMWIsol, kTfence, kOrder, kStrongIsol,
+                  kTxnOrder };
+
+/// memoTerm tags (unique static addresses) and the mask bits each term
+/// actually reads (the memoization salt, so configurations differing only
+/// in irrelevant axioms share one cached term).
+constexpr char HbTag = 0;
+constexpr uint32_t kHbSalt = 1u << kTfence;
+
+/// hb (Fig. 5) = mfence u ppo u implied u rfe u fr u co, with the implicit
+/// transaction fences folded into `implied` when the tfence axiom is on.
+Relation hb(const ExecutionAnalysis &A, AxiomMask M) {
+  bool Tfence = M.test(kTfence);
+  return A.memoTerm(&HbTag, M.bits() & kHbSalt, /*TxnDependent=*/Tfence,
+                    [&] {
+    unsigned N = A.size();
+    EventSet R = A.reads(), W = A.writes();
+
+    // ppo = ((W x W) u (R x W) u (R x R)) n po: TSO relaxes only W->R.
+    Relation Ppo = (Relation::cross(W, W, N) | Relation::cross(R, W, N) |
+                    Relation::cross(R, R, N)) &
+                   A.po();
+
+    // implied = [L] ; po  u  po ; [L]  u  tfence, L the locked RMW events.
+    EventSet Locked = A.rmw().domain() | A.rmw().range();
+    Relation LockedId = Relation::identityOn(Locked, N);
+    Relation Implied = LockedId.compose(A.po()) | A.po().compose(LockedId);
+    if (Tfence)
+      Implied |= A.tfence();
+
+    return A.fenceRel(FenceKind::MFence) | Ppo | Implied | A.rfe() |
+           A.fr() | A.co();
+  });
 }
+
+Relation txnOrder(const ExecutionAnalysis &A, AxiomMask M) {
+  return strongLift(hb(A, M), A.stxn());
+}
+
+const Axiom X86Axioms[] = {
+    {"Coherence", AxiomKind::Acyclic, terms::coherence},
+    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation},
+    {"tfence", AxiomKind::Acyclic, terms::tfence, /*Tm=*/true,
+     /*Modifier=*/true},
+    {"Order", AxiomKind::Acyclic, hb},
+    {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true},
+    {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true},
+};
+
+} // namespace
+
+X86Model::X86Model(Config C) {
+  Mask.set(kTfence, C.Tfence);
+  Mask.set(kStrongIsol, C.StrongIsol);
+  Mask.set(kTxnOrder, C.TxnOrder);
+}
+
+AxiomList X86Model::axioms() const { return X86Axioms; }
 
 Relation X86Model::happensBefore(const ExecutionAnalysis &A) const {
-  unsigned N = A.size();
-  EventSet R = A.reads(), W = A.writes();
-
-  // ppo = ((W x W) u (R x W) u (R x R)) n po: TSO relaxes only W->R.
-  Relation Ppo = (Relation::cross(W, W, N) | Relation::cross(R, W, N) |
-                  Relation::cross(R, R, N)) &
-                 A.po();
-
-  // implied = [L] ; po  u  po ; [L]  u  tfence, L the locked RMW events.
-  EventSet Locked = A.rmw().domain() | A.rmw().range();
-  Relation LockedId = Relation::identityOn(Locked, N);
-  Relation Implied = LockedId.compose(A.po()) | A.po().compose(LockedId);
-  if (Cfg.Tfence)
-    Implied |= A.tfence();
-
-  return A.fenceRel(FenceKind::MFence) | Ppo | Implied | A.rfe() | A.fr() |
-         A.co();
+  return hb(A, Mask);
 }
 
-ConsistencyResult X86Model::check(const ExecutionAnalysis &A) const {
-  const Relation &Com = A.com();
-  if (!(A.poLoc() | Com).isAcyclic())
-    return ConsistencyResult::fail("Coherence");
-
-  if (!(A.rmw() & A.fre().compose(A.coe())).isEmpty())
-    return ConsistencyResult::fail("RMWIsol");
-
-  Relation Hb = happensBefore(A);
-  if (!Hb.isAcyclic())
-    return ConsistencyResult::fail("Order");
-
-  if (Cfg.StrongIsol && !A.strongLiftComStxn().isAcyclic())
-    return ConsistencyResult::fail("StrongIsol");
-  if (Cfg.TxnOrder && !strongLift(Hb, A.stxn()).isAcyclic())
-    return ConsistencyResult::fail("TxnOrder");
-
-  return ConsistencyResult::ok();
+X86Model::Config X86Model::config() const {
+  return {Mask.test(kTfence), Mask.test(kStrongIsol), Mask.test(kTxnOrder)};
 }

@@ -3,9 +3,14 @@
 /// \file
 /// The x86 memory model of Fig. 5: TSO happens-before (Alglave et al.) with
 /// the paper's TM additions — implicit transaction fences (tfence), strong
-/// isolation, and transaction ordering (TxnOrder). Each TM axiom can be
-/// toggled for ablation; the all-off configuration is the non-transactional
-/// baseline used when synthesising the Forbid suite.
+/// isolation, and transaction ordering (TxnOrder). Each TM axiom is a named
+/// entry of the declarative axiom table and can be toggled by name through
+/// the `AxiomMask` API (or the `Config` shim below); the all-off
+/// configuration is the non-transactional baseline used when synthesising
+/// the Forbid suite.
+///
+/// Axioms: Coherence, RMWIsol, tfence (TM modifier), Order,
+///         StrongIsol (TM), TxnOrder (TM).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -19,6 +24,8 @@ namespace tmw {
 /// x86 (Fig. 5). Default configuration enables all TM axioms.
 class X86Model : public MemoryModel {
 public:
+  /// Thin shim lowering onto the named-axiom mask (source compatibility
+  /// with the pre-axiom-API per-model configs).
   struct Config {
     /// Implicit fences at transaction boundaries (Intel SDM §16.3.6).
     bool Tfence = true;
@@ -32,19 +39,20 @@ public:
   };
 
   X86Model() = default;
-  explicit X86Model(Config C) : Cfg(C) {}
+  explicit X86Model(Config C);
 
-  const char *name() const override;
+  const char *name() const override {
+    return anyTmEnabled() ? "x86+TM" : "x86";
+  }
   Arch arch() const override { return Arch::X86; }
-  ConsistencyResult check(const ExecutionAnalysis &A) const override;
+  AxiomList axioms() const override;
 
   /// The happens-before relation of Fig. 5 under this configuration.
   Relation happensBefore(const ExecutionAnalysis &A) const;
 
-  const Config &config() const { return Cfg; }
-
-private:
-  Config Cfg;
+  /// The current mask rendered as a `Config` (axioms the shim does not
+  /// name are unaffected by it).
+  Config config() const;
 };
 
 } // namespace tmw

@@ -74,6 +74,11 @@ public:
     return universe(N) - *this;
   }
 
+  /// The singleton of the lowest member ({} when empty).
+  constexpr EventSet first() const {
+    return EventSet(Bits & (~Bits + 1));
+  }
+
   /// Iteration over members, lowest id first.
   class iterator {
   public:

@@ -52,6 +52,53 @@ unsigned Relation::numPairs() const {
   return N;
 }
 
+EventSet Relation::findCycle() const {
+  Relation TC = transitiveClosure();
+  for (EventId E = 0; E < Size; ++E) {
+    if (!TC.contains(E, E))
+      continue;
+    if (contains(E, E))
+      return EventSet::singleton(E);
+    // Shortest cycle through E: BFS from E's successors back to E,
+    // recording BFS parents to reconstruct the path.
+    EventId Parent[kMaxEvents];
+    EventId Queue[kMaxEvents];
+    unsigned Head = 0, Tail = 0;
+    EventSet Seen;
+    for (EventId S : successors(E)) {
+      Seen.insert(S);
+      Parent[S] = E;
+      Queue[Tail++] = S;
+    }
+    while (Head < Tail) {
+      EventId U = Queue[Head++];
+      if (contains(U, E)) {
+        EventSet Cycle = EventSet::singleton(E);
+        for (EventId V = U; V != E; V = Parent[V])
+          Cycle.insert(V);
+        return Cycle;
+      }
+      for (EventId S : successors(U))
+        if (S != E && !Seen.contains(S)) {
+          Seen.insert(S);
+          Parent[S] = U;
+          Queue[Tail++] = S;
+        }
+    }
+    // TC(E, E) guarantees the BFS closes the cycle; not reached.
+    assert(false && "transitive closure promised a cycle through E");
+  }
+  return {};
+}
+
+EventSet Relation::reflexivePoints() const {
+  EventSet S;
+  for (EventId A = 0; A < Size; ++A)
+    if ((Rows[A] >> A) & 1)
+      S.insert(A);
+  return S;
+}
+
 bool Relation::operator==(const Relation &O) const {
   if (Size != O.Size)
     return false;

@@ -72,6 +72,16 @@ public:
   /// Number of pairs in the relation.
   unsigned numPairs() const;
 
+  /// Witness extraction for a failed `acyclic` axiom: the events of one
+  /// cycle — a shortest cycle through the lowest-numbered event that lies
+  /// on any cycle. Consecutive events of the cycle (and the closing edge)
+  /// are pairs of this relation; a self-loop yields a singleton. Empty
+  /// when the relation is acyclic.
+  EventSet findCycle() const;
+  /// Events e with (e, e) in the relation (the witnesses of a failed
+  /// `irreflexive` axiom).
+  EventSet reflexivePoints() const;
+
   bool operator==(const Relation &O) const;
   /// True when this is a subset of \p O.
   bool subsetOf(const Relation &O) const;

@@ -114,7 +114,7 @@ TEST(Armv8TmTest, TxnCancelsRmwAcrossBoundary) {
   Armv8Model Tm;
   ConsistencyResult R = Tm.check(shapes::rmwAcrossTxns(false));
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "TxnCancelsRMW");
+  EXPECT_EQ(R.FailedAxiom, "TxnCancelsRMW");
   EXPECT_TRUE(Tm.consistent(shapes::rmwAcrossTxns(true)));
 }
 
@@ -145,7 +145,7 @@ TEST(Armv8TmTest, Example11FixedByDmb) {
   Armv8Model Tm;
   ConsistencyResult R = Tm.check(X);
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "TxnOrder");
+  EXPECT_EQ(R.FailedAxiom, "TxnOrder");
 }
 
 TEST(Armv8TmTest, AppendixBVariantReproduced) {

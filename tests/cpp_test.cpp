@@ -18,7 +18,7 @@ TEST(CppTest, SeqCstStoreBufferingForbidden) {
   CppModel M;
   ConsistencyResult R = M.check(shapes::storeBuffering(MemOrder::SeqCst));
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "SeqCst");
+  EXPECT_EQ(R.FailedAxiom, "SeqCst");
 }
 
 TEST(CppTest, ReleaseAcquireMessagePassingForbidden) {
@@ -46,7 +46,7 @@ TEST(CppTest, NoThinAirForbidsRelaxedLbCycle) {
   CppModel M;
   ConsistencyResult R = M.check(B.build());
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "NoThinAir");
+  EXPECT_EQ(R.FailedAxiom, "NoThinAir");
 }
 
 TEST(CppTest, CoherenceViaHbCom) {
@@ -59,7 +59,7 @@ TEST(CppTest, CoherenceViaHbCom) {
   CppModel M;
   ConsistencyResult Res = M.check(B.build());
   EXPECT_FALSE(Res.Consistent);
-  EXPECT_STREQ(Res.FailedAxiom, "HbCom");
+  EXPECT_EQ(Res.FailedAxiom, "HbCom");
 }
 
 TEST(CppTest, ReleaseSequenceThroughRmw) {
@@ -127,7 +127,7 @@ TEST(CppTmTest, TransactionalMessagePassingForbidden) {
   CppModel M;
   ConsistencyResult R = M.check(X);
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "HbCom");
+  EXPECT_EQ(R.FailedAxiom, "HbCom");
 
   // Without tsw (the baseline C++ model) the shape is allowed — and racy.
   CppModel Baseline{CppModel::Config::baseline()};

@@ -59,7 +59,7 @@ TEST(MonotonicityTest, PowerCounterexampleAtTwoEvents) {
   EXPECT_TRUE(M.consistent(R.Y));
   // The counterexample is the §8.1 shape: an rmw crossing transactions.
   EXPECT_FALSE(R.X.Rmw.isEmpty());
-  EXPECT_STREQ(M.check(R.X).FailedAxiom, "TxnCancelsRMW");
+  EXPECT_EQ(M.check(R.X).FailedAxiom, "TxnCancelsRMW");
 }
 
 TEST(MonotonicityTest, Armv8CounterexampleAtTwoEvents) {
@@ -67,7 +67,7 @@ TEST(MonotonicityTest, Armv8CounterexampleAtTwoEvents) {
   Vocabulary V = Vocabulary::forArch(Arch::Armv8);
   MonotonicityResult R = checkMonotonicity(M, V, 2, 60.0);
   ASSERT_TRUE(R.CounterexampleFound);
-  EXPECT_STREQ(M.check(R.X).FailedAxiom, "TxnCancelsRMW");
+  EXPECT_EQ(M.check(R.X).FailedAxiom, "TxnCancelsRMW");
 }
 
 TEST(MonotonicityTest, X86HoldsAtSmallBounds) {

@@ -78,7 +78,7 @@ TEST(PowerTest, CoherenceStillHolds) {
   PowerModel M;
   ConsistencyResult Res = M.check(B.build());
   EXPECT_FALSE(Res.Consistent);
-  EXPECT_STREQ(Res.FailedAxiom, "Coherence");
+  EXPECT_EQ(Res.FailedAxiom, "Coherence");
 }
 
 //===----------------------------------------------------------------------===
@@ -90,7 +90,7 @@ TEST(PowerTmTest, Sec52Execution1ForbiddenByIntegratedBarrier) {
   PowerModel Tm;
   ConsistencyResult R = Tm.check(X);
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "Observation");
+  EXPECT_EQ(R.FailedAxiom, "Observation");
 
   // Without tprop1 (the integrated memory barrier) it is allowed.
   PowerModel::Config NoTprop1;
@@ -106,7 +106,7 @@ TEST(PowerTmTest, Sec52Execution2ForbiddenByMulticopyAtomicity) {
   PowerModel Tm;
   ConsistencyResult R = Tm.check(X);
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "Observation");
+  EXPECT_EQ(R.FailedAxiom, "Observation");
 
   PowerModel::Config NoTprop2;
   NoTprop2.TProp2 = false;
@@ -144,7 +144,7 @@ TEST(PowerTmTest, TxnCancelsRmwAcrossBoundary) {
   PowerModel Tm;
   ConsistencyResult R = Tm.check(Split);
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "TxnCancelsRMW");
+  EXPECT_EQ(R.FailedAxiom, "TxnCancelsRMW");
 
   Execution Joined = shapes::rmwAcrossTxns(/*Coalesced=*/true);
   EXPECT_TRUE(Tm.consistent(Joined));

@@ -101,7 +101,7 @@ TEST(Rc11Test, ScFencesForbidRelaxedSb) {
   CppModel M;
   ConsistencyResult R = M.check(B.build());
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "SeqCst");
+  EXPECT_EQ(R.FailedAxiom, "SeqCst");
 }
 
 TEST(Rc11Test, MixedScAndRelaxedSbAllowed) {

@@ -63,7 +63,7 @@ TEST(RtlBugTest, TxnOrderOnlyWitnessShape) {
   Armv8Model Tm;
   ConsistencyResult C = Tm.check(X);
   ASSERT_FALSE(C.Consistent);
-  EXPECT_STREQ(C.FailedAxiom, "TxnOrder");
+  EXPECT_EQ(C.FailedAxiom, "TxnOrder");
   Armv8Model Baseline{Armv8Model::Config::baseline()};
   EXPECT_TRUE(Baseline.consistent(X));
   EXPECT_TRUE(ImplModel::armv8BuggyRtl().consistent(X));

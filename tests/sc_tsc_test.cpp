@@ -13,7 +13,7 @@ TEST(ScTest, ForbidsStoreBuffering) {
   ScModel Sc;
   ConsistencyResult R = Sc.check(shapes::storeBuffering());
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "Order");
+  EXPECT_EQ(R.FailedAxiom, "Order");
 }
 
 TEST(ScTest, ForbidsMessagePassingStaleRead) {
@@ -118,7 +118,7 @@ TEST(TscTest, TransactionsSerialiseEvenWhenUnobservedBetween) {
   TscModel Tsc;
   ConsistencyResult R = Tsc.check(X);
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "TxnOrder");
+  EXPECT_EQ(R.FailedAxiom, "TxnOrder");
 }
 
 TEST(TscTest, AllowsSerialisedTransactions) {

@@ -25,7 +25,7 @@ TEST(X86Test, MfenceForbidsStoreBuffering) {
   X86Model M;
   ConsistencyResult R = M.check(B.build());
   EXPECT_FALSE(R.Consistent);
-  EXPECT_STREQ(R.FailedAxiom, "Order");
+  EXPECT_EQ(R.FailedAxiom, "Order");
 }
 
 TEST(X86Test, LockedRmwForbidsStoreBuffering) {
@@ -69,7 +69,7 @@ TEST(X86Test, ForbidsCoherenceViolations) {
   X86Model M;
   ConsistencyResult Res = M.check(B.buildUnchecked());
   EXPECT_FALSE(Res.Consistent);
-  EXPECT_STREQ(Res.FailedAxiom, "Coherence");
+  EXPECT_EQ(Res.FailedAxiom, "Coherence");
 }
 
 TEST(X86Test, RmwIsolation) {
@@ -83,7 +83,7 @@ TEST(X86Test, RmwIsolation) {
   X86Model M;
   ConsistencyResult Res = M.check(B.build());
   EXPECT_FALSE(Res.Consistent);
-  EXPECT_STREQ(Res.FailedAxiom, "RMWIsol");
+  EXPECT_EQ(Res.FailedAxiom, "RMWIsol");
 }
 
 //===----------------------------------------------------------------------===
