@@ -15,6 +15,8 @@
 #ifndef TMW_BENCH_BENCHUTIL_H
 #define TMW_BENCH_BENCHUTIL_H
 
+#include "synth/Conformance.h"
+
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -57,6 +59,32 @@ inline void header(const char *Title, const char *PaperRef) {
 }
 
 inline const char *yesNo(bool B) { return B ? "yes" : "no"; }
+
+/// Run the work-stealing Forbid synthesis across a doubling jobs sweep
+/// (1, 2, 4, 8), printing one line per point and returning the entries as
+/// a JSON array body (no brackets) for `writeBenchJson`. With a
+/// non-binding budget the test count is identical across the sweep; only
+/// wall time moves.
+inline std::string synthesisJobsSweepJson(const MemoryModel &Tm,
+                                          const MemoryModel &Baseline,
+                                          const Vocabulary &V,
+                                          unsigned NumEvents,
+                                          double BudgetSeconds) {
+  std::string Json;
+  for (unsigned J = 1; J <= 8; J *= 2) {
+    ForbidSuite S =
+        synthesizeForbid(Tm, Baseline, V, NumEvents, BudgetSeconds, J);
+    std::printf("  --jobs %u: %.2fs (%zu tests)\n", J, S.SynthesisSeconds,
+                S.Tests.size());
+    char Entry[128];
+    std::snprintf(Entry, sizeof(Entry),
+                  "%s{\"jobs\": %u, \"wall_seconds\": %.4f, \"tests\": %zu}",
+                  Json.empty() ? "" : ", ", J, S.SynthesisSeconds,
+                  S.Tests.size());
+    Json += Entry;
+  }
+  return Json;
+}
 
 /// Write `BENCH_<name>.json` containing \p JsonBody (a complete JSON
 /// object) into the working directory. Returns true on success.

@@ -16,6 +16,9 @@
 /// per access (the historical uncached behaviour) — and emits everything
 /// to `BENCH_ablation_axioms.json`.
 ///
+/// A `--jobs` sweep of the work-stealing synthesis (wall seconds per job
+/// count) rides along in the JSON, tracking parallel scaling per commit.
+///
 /// Knobs: `--jobs N` shards the Forbid synthesis across N threads;
 /// `--smoke` shrinks budgets for CI (a seconds-scale run that still
 /// exercises every model and axiom); `TMW_BENCH_BUDGET_SECONDS`,
@@ -202,6 +205,18 @@ int main(int argc, char **argv) {
               Cached);
   std::printf("  speedup: %.2fx\n", Speedup);
 
+  //===------------------------------------------------------------------===
+  // Jobs sweep of the work-stealing x86 Forbid synthesis (within budget
+  // the test set is deterministic across the sweep; only wall time moves).
+  //===------------------------------------------------------------------===
+  std::printf("\nSynthesis jobs sweep (x86, |E| = %u, work-stealing):\n",
+              MaxE);
+  std::unique_ptr<MemoryModel> SweepTm = ModelRegistry::parse("x86");
+  std::unique_ptr<MemoryModel> SweepBase =
+      ModelRegistry::parse("x86/+baseline");
+  std::string SweepJson = bench::synthesisJobsSweepJson(
+      *SweepTm, *SweepBase, Vocabulary::forArch(Arch::X86), MaxE, Budget);
+
   char Head[512];
   std::snprintf(Head, sizeof(Head),
                 "{\"bench\": \"ablation_axioms\", \"jobs\": %u, "
@@ -209,10 +224,11 @@ int main(int argc, char **argv) {
                 "\"model_configs\": %zu, "
                 "\"uncached_checks_per_sec\": %.0f, "
                 "\"cached_checks_per_sec\": %.0f, \"speedup\": %.3f, "
-                "\"per_axiom\": [",
+                "\"jobs_sweep\": [",
                 Jobs, Smoke ? "true" : "false", Corpus.size(),
                 Models.size(), Uncached, Cached, Speedup);
-  bench::writeBenchJson("ablation_axioms",
-                        std::string(Head) + PerAxiomJson + "]}");
+  bench::writeBenchJson("ablation_axioms", std::string(Head) + SweepJson +
+                                               "], \"per_axiom\": [" +
+                                               PerAxiomJson + "]}");
   return 0;
 }

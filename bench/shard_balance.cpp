@@ -1,0 +1,150 @@
+//===- shard_balance.cpp - Load balance of the parallel Forbid synthesis ------==//
+///
+/// Measures how the two shard strategies of `synthesizeForbid` deal the
+/// §4.2 search space to worker threads: the work-stealing prefix pool
+/// (default) against the historical static round-robin deal over the
+/// first skeleton decision. For a sweep of `--jobs` values it reports,
+/// per strategy:
+///
+///   * wall-clock synthesis seconds and wall speedup vs one job;
+///   * per-worker busy seconds, and the *schedule speedup*
+///     total-busy / max-busy — the parallel speedup the schedule admits
+///     on >= jobs cores, a load-balance metric independent of how many
+///     cores this box happens to have (static sharding is bounded by its
+///     fattest shard; the pool splits fat subtrees and steals);
+///   * task/split/steal counts for the pool.
+///
+/// Everything lands in `BENCH_shard_balance.json` so the speedup of
+/// work-stealing over static sharding is tracked per commit.
+///
+/// Knobs: `--jobs N` extends the sweep up to N (default 8); `--smoke`
+/// shrinks the event bound for CI; `TMW_BENCH_MAX_EVENTS`,
+/// `TMW_BENCH_BUDGET_SECONDS` as everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "models/ModelRegistry.h"
+#include "synth/Conformance.h"
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace tmw;
+
+namespace {
+
+struct RunStats {
+  unsigned Jobs;
+  double WallSeconds;
+  double ScheduleSpeedup;
+  double BusyMax, BusyTotal;
+  uint64_t Tasks, Splits, Steals;
+  size_t Tests;
+};
+
+RunStats measure(const MemoryModel &Tm, const MemoryModel &Baseline,
+                 const Vocabulary &V, unsigned N, double Budget,
+                 unsigned Jobs, ShardStrategy Strategy) {
+  ForbidSuite S = synthesizeForbid(Tm, Baseline, V, N, Budget, Jobs,
+                                   Strategy);
+  RunStats R{Jobs, S.SynthesisSeconds, 1.0, 0, 0, 0, 0, 0, S.Tests.size()};
+  for (const WorkerLoad &L : S.Workers) {
+    R.BusyMax = std::max(R.BusyMax, L.BusySeconds);
+    R.BusyTotal += L.BusySeconds;
+    R.Tasks += L.Tasks;
+    R.Splits += L.Splits;
+    R.Steals += L.Steals;
+  }
+  if (R.BusyMax > 0)
+    R.ScheduleSpeedup = R.BusyTotal / R.BusyMax;
+  return R;
+}
+
+const char *strategyName(ShardStrategy S) {
+  return S == ShardStrategy::WorkStealing ? "work_stealing" : "static";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::header("Shard balance: work-stealing prefixes vs static round-robin",
+                "§4.2 synthesis scaling; ROADMAP work-stealing layer");
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+  unsigned N = bench::maxEvents(Smoke ? 4 : 5);
+  double Budget = bench::budgetSeconds(Smoke ? 60.0 : 600.0);
+  unsigned MaxJobs = std::max(8u, bench::jobs(argc, argv, 8));
+
+  std::unique_ptr<MemoryModel> Tm = ModelRegistry::parse("x86");
+  std::unique_ptr<MemoryModel> Baseline =
+      ModelRegistry::parse("x86/+baseline");
+  Vocabulary V = Vocabulary::forArch(Arch::X86);
+
+  std::vector<unsigned> Sweep;
+  for (unsigned J = 1; J <= MaxJobs; J *= 2)
+    Sweep.push_back(J);
+
+  std::printf("\nx86 Forbid synthesis, |E| = %u (sweep to %u jobs)\n\n", N,
+              MaxJobs);
+  std::printf("%-14s %5s %9s %9s %9s %7s %7s %7s %6s\n", "strategy",
+              "jobs", "wall-s", "wall-spd", "sched-spd", "tasks",
+              "splits", "steals", "tests");
+
+  std::string Json;
+  double RefWall[2] = {0, 0};
+  double SpeedupAt8[2] = {0, 0};
+  for (ShardStrategy Strat :
+       {ShardStrategy::WorkStealing, ShardStrategy::StaticRoundRobin}) {
+    unsigned StratIdx = Strat == ShardStrategy::WorkStealing ? 0 : 1;
+    for (unsigned Jobs : Sweep) {
+      RunStats R = measure(*Tm, *Baseline, V, N, Budget, Jobs, Strat);
+      if (Jobs == 1)
+        RefWall[StratIdx] = R.WallSeconds;
+      double WallSpd =
+          R.WallSeconds > 0 ? RefWall[StratIdx] / R.WallSeconds : 0;
+      if (Jobs == 8)
+        SpeedupAt8[StratIdx] = R.ScheduleSpeedup;
+      std::printf("%-14s %5u %9.3f %9.2f %9.2f %7llu %7llu %7llu %6zu\n",
+                  strategyName(Strat), Jobs, R.WallSeconds, WallSpd,
+                  R.ScheduleSpeedup,
+                  static_cast<unsigned long long>(R.Tasks),
+                  static_cast<unsigned long long>(R.Splits),
+                  static_cast<unsigned long long>(R.Steals), R.Tests);
+
+      char Entry[320];
+      std::snprintf(
+          Entry, sizeof(Entry),
+          "%s{\"strategy\": \"%s\", \"jobs\": %u, \"wall_seconds\": %.4f, "
+          "\"wall_speedup\": %.3f, \"schedule_speedup\": %.3f, "
+          "\"busy_max\": %.4f, \"busy_total\": %.4f, \"tasks\": %llu, "
+          "\"splits\": %llu, \"steals\": %llu, \"tests\": %zu}",
+          Json.empty() ? "" : ", ", strategyName(Strat), Jobs,
+          R.WallSeconds, WallSpd, R.ScheduleSpeedup, R.BusyMax, R.BusyTotal,
+          static_cast<unsigned long long>(R.Tasks),
+          static_cast<unsigned long long>(R.Splits),
+          static_cast<unsigned long long>(R.Steals), R.Tests);
+      Json += Entry;
+    }
+  }
+
+  std::printf("\nAt 8 jobs the work-stealing schedule admits %.2fx "
+              "parallelism vs %.2fx\nfor static sharding (static is "
+              "bounded by its fattest shard; with |E| = %u it\nhas at most "
+              "%u non-empty shards).\n",
+              SpeedupAt8[0], SpeedupAt8[1], N, N);
+
+  char Head[256];
+  std::snprintf(Head, sizeof(Head),
+                "{\"bench\": \"shard_balance\", \"num_events\": %u, "
+                "\"smoke\": %s, \"ws_schedule_speedup_at_8\": %.3f, "
+                "\"static_schedule_speedup_at_8\": %.3f, \"runs\": [",
+                N, Smoke ? "true" : "false", SpeedupAt8[0], SpeedupAt8[1]);
+  bench::writeBenchJson("shard_balance", std::string(Head) + Json + "]}");
+  return 0;
+}

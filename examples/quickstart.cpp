@@ -9,13 +9,14 @@
 ///
 /// Run: ./quickstart [--jobs N]
 ///
-///   --jobs N   shard the conformance-suite enumeration across N threads
+///   --jobs N   run the conformance-suite search on N worker threads
 ///              (default 1; also settable via TMW_BENCH_JOBS, shared with
-///              the bench binaries). Shards partition the skeleton space
-///              on its first branching decision and results are merged
-///              with canonical-hash deduplication, so the synthesised
-///              test set is the same for every N (representatives and
-///              order may vary up to symmetry).
+///              the bench binaries). Workers pull (skeleton,
+///              event-labelling) prefix tasks from a work-stealing pool,
+///              splitting big subtrees and stealing when idle; the
+///              merged suite is deduplicated by canonical hash and
+///              hash-sorted, so a run that completes within its budget
+///              is byte-for-byte identical for every N.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -102,8 +103,8 @@ int main(int argc, char **argv) {
 
   // Finally: synthesise the 4-event x86 Forbid suite — the tests that
   // distinguish the TM extension (§4.2). The baseline is just another
-  // spec string; `--jobs N` shards the search across N threads and the
-  // merged, deduplicated test set is the same for any N.
+  // spec string; `--jobs N` runs the work-stealing prefix pool on N
+  // threads and the merged, hash-sorted suite is identical for any N.
   std::unique_ptr<MemoryModel> X86 = ModelRegistry::parse("x86");
   std::unique_ptr<MemoryModel> Baseline =
       ModelRegistry::parse("x86/+baseline");
@@ -116,5 +117,14 @@ int main(int argc, char **argv) {
               Jobs, Jobs == 1 ? "" : "s", S.Tests.size(),
               S.SynthesisSeconds,
               static_cast<unsigned long long>(S.PlacementsVisited));
+  for (unsigned W = 0; W < S.Workers.size(); ++W) {
+    const WorkerLoad &L = S.Workers[W];
+    std::printf("  worker %u: %.3fs busy, %llu tasks (%llu split, "
+                "%llu stolen), %llu bases\n",
+                W, L.BusySeconds, static_cast<unsigned long long>(L.Tasks),
+                static_cast<unsigned long long>(L.Splits),
+                static_cast<unsigned long long>(L.Steals),
+                static_cast<unsigned long long>(L.BasesVisited));
+  }
   return 0;
 }

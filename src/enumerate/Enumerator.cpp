@@ -45,6 +45,33 @@ Vocabulary Vocabulary::forArch(Arch A) {
 
 namespace {
 
+/// Enumerate the canonical skeletons (non-increasing partitions of \p Num
+/// into at most \p MaxThreads parts) in DFS order — small parts first:
+/// thread-rich skeletons (where most communication cycles live) are
+/// visited early, front-loading test discovery, the explicit-search
+/// counterpart of the paper's Fig. 7 observation. The single source of
+/// truth for the skeleton stage: the base DFS and the prefix-task roots
+/// (`forEachSkeleton`) both come from here, so the pool seeds exactly the
+/// skeletons the sequential search visits. \p F returns false to stop.
+template <typename F>
+bool forEachSkeletonImpl(unsigned Num, unsigned MaxThreads, F &&Sink) {
+  std::vector<unsigned> Sizes;
+  std::function<bool(unsigned, unsigned)> Rec = [&](unsigned Remaining,
+                                                    unsigned MaxPart) {
+    if (Remaining == 0)
+      return Sizes.size() > MaxThreads || Sink(Sizes);
+    for (unsigned Part = 1; Part <= std::min(Remaining, MaxPart); ++Part) {
+      Sizes.push_back(Part);
+      bool Continue = Rec(Remaining - Part, Part);
+      Sizes.pop_back();
+      if (!Continue)
+        return false;
+    }
+    return true;
+  };
+  return Rec(Num, Num);
+}
+
 /// Mutable state threaded through the base-enumeration DFS.
 struct BaseSearch {
   const Vocabulary &V;
@@ -62,8 +89,18 @@ struct BaseSearch {
       : V(V), Num(Num), Sink(Sink) {}
 
   void run();
-  void chooseSkeleton(std::vector<unsigned> &Sizes, unsigned Remaining,
-                      unsigned MaxPart);
+  void runPrefixed(const BasePrefix &P);
+  void materializeSkeleton(const std::vector<unsigned> &Sizes);
+  /// Apply the labels of \p P over the materialized skeleton; returns the
+  /// resulting first-use location count.
+  unsigned applyLabels(const BasePrefix &P);
+  /// Enumerate the admissible labels of event \p E given \p LocsUsed, in
+  /// DFS try-order. \p Gen receives (label, new LocsUsed) and returns
+  /// false to stop. The single source of truth for the labelling
+  /// decisions: the DFS recursion and `expandPrefix` both call it, which
+  /// is what makes prefix tasks partition the space exactly.
+  template <typename G>
+  void forEachLabelChoice(unsigned E, unsigned LocsUsed, G &&Gen) const;
   void chooseEvents(unsigned E, unsigned LocsUsed);
   bool locationFilterOk() const;
   void chooseRmw();
@@ -79,48 +116,107 @@ struct BaseSearch {
 };
 
 void BaseSearch::run() {
-  std::vector<unsigned> Sizes;
-  chooseSkeleton(Sizes, Num, Num);
+  forEachSkeletonImpl(Num, V.MaxThreads,
+                      [&](const std::vector<unsigned> &Sizes) {
+    // Static sharding partitions the space on the very first skeleton
+    // decision only (the largest-thread size, dealt round-robin).
+    if ((Sizes[0] - 1) % NumShards != Shard)
+      return true;
+    materializeSkeleton(Sizes);
+    chooseEvents(0, 0);
+    return !Aborted;
+  });
 }
 
-void BaseSearch::chooseSkeleton(std::vector<unsigned> &Sizes,
-                                unsigned Remaining, unsigned MaxPart) {
-  if (Aborted)
-    return;
-  if (Remaining == 0) {
-    if (Sizes.size() > V.MaxThreads)
-      return;
-    // Materialise the skeleton: events thread-major, po = id order.
-    X.clear(Num);
-    ThreadOf.assign(Num, 0);
-    PosOf.assign(Num, 0);
-    ThreadSize = Sizes;
-    unsigned E = 0;
-    for (unsigned T = 0; T < Sizes.size(); ++T)
-      for (unsigned P = 0; P < Sizes[T]; ++P, ++E) {
-        ThreadOf[E] = T;
-        PosOf[E] = P;
-        X.event(E).Thread = T;
-      }
-    for (unsigned A = 0; A < Num; ++A)
-      for (unsigned B = A + 1; B < Num; ++B)
-        if (ThreadOf[A] == ThreadOf[B])
-          X.Po.insert(A, B);
-    chooseEvents(0, 0);
-    return;
+void BaseSearch::materializeSkeleton(const std::vector<unsigned> &Sizes) {
+  // Events thread-major, po = id order.
+  X.clear(Num);
+  ThreadOf.assign(Num, 0);
+  PosOf.assign(Num, 0);
+  ThreadSize = Sizes;
+  unsigned E = 0;
+  for (unsigned T = 0; T < Sizes.size(); ++T)
+    for (unsigned P = 0; P < Sizes[T]; ++P, ++E) {
+      ThreadOf[E] = T;
+      PosOf[E] = P;
+      X.event(E).Thread = T;
+    }
+  for (unsigned A = 0; A < Num; ++A)
+    for (unsigned B = A + 1; B < Num; ++B)
+      if (ThreadOf[A] == ThreadOf[B])
+        X.Po.insert(A, B);
+}
+
+unsigned BaseSearch::applyLabels(const BasePrefix &P) {
+  unsigned LocsUsed = 0;
+  for (unsigned E = 0; E < P.Labels.size(); ++E) {
+    X.event(E) = P.Labels[E];
+    X.event(E).Thread = ThreadOf[E];
+    if (X.event(E).isMemoryAccess())
+      LocsUsed =
+          std::max(LocsUsed, static_cast<unsigned>(X.event(E).Loc) + 1);
   }
-  // Small parts first: thread-rich skeletons (where most communication
-  // cycles live) are visited early, front-loading test discovery — the
-  // explicit-search counterpart of the paper's Fig. 7 observation.
-  for (unsigned Part = 1; Part <= std::min(Remaining, MaxPart); ++Part) {
-    // Sharding partitions the space on the very first decision only.
-    if (Sizes.empty() && (Part - 1) % NumShards != Shard)
-      continue;
-    Sizes.push_back(Part);
-    chooseSkeleton(Sizes, Remaining - Part, Part);
-    Sizes.pop_back();
-    if (Aborted)
-      return;
+  return LocsUsed;
+}
+
+void BaseSearch::runPrefixed(const BasePrefix &P) {
+  materializeSkeleton(P.Sizes);
+  chooseEvents(static_cast<unsigned>(P.Labels.size()), applyLabels(P));
+}
+
+template <typename G>
+void BaseSearch::forEachLabelChoice(unsigned E, unsigned LocsUsed,
+                                    G &&Gen) const {
+  bool Interior = PosOf[E] > 0 && PosOf[E] + 1 < ThreadSize[ThreadOf[E]];
+
+  // Reads and writes, over the available locations (first-use canonical:
+  // an event may use any previously used location or the next fresh one).
+  unsigned LocLimit = std::min(LocsUsed + 1, V.MaxLocations);
+  for (unsigned L = 0; L < LocLimit; ++L) {
+    unsigned NewUsed = std::max(LocsUsed, L + 1);
+    for (MemOrder MO : V.ReadOrders) {
+      Event Ev;
+      Ev.Kind = EventKind::Read;
+      Ev.Thread = ThreadOf[E];
+      Ev.Loc = static_cast<LocId>(L);
+      Ev.Order = MO;
+      if (!Gen(Ev, NewUsed))
+        return;
+    }
+    for (MemOrder MO : V.WriteOrders) {
+      Event Ev;
+      Ev.Kind = EventKind::Write;
+      Ev.Thread = ThreadOf[E];
+      Ev.Loc = static_cast<LocId>(L);
+      Ev.Order = MO;
+      if (!Gen(Ev, NewUsed))
+        return;
+    }
+  }
+
+  // Fences: only interior to a thread (a boundary fence orders nothing and
+  // can never appear in a minimal test).
+  if (Interior) {
+    for (FenceKind FK : V.Fences) {
+      if (FK == FenceKind::CppFence) {
+        for (MemOrder MO : V.FenceOrders) {
+          Event Ev;
+          Ev.Kind = EventKind::Fence;
+          Ev.Thread = ThreadOf[E];
+          Ev.Fence = FK;
+          Ev.Order = MO;
+          if (!Gen(Ev, LocsUsed))
+            return;
+        }
+      } else {
+        Event Ev;
+        Ev.Kind = EventKind::Fence;
+        Ev.Thread = ThreadOf[E];
+        Ev.Fence = FK;
+        if (!Gen(Ev, LocsUsed))
+          return;
+      }
+    }
   }
 }
 
@@ -132,64 +228,13 @@ void BaseSearch::chooseEvents(unsigned E, unsigned LocsUsed) {
       chooseRmw();
     return;
   }
-  Event &Ev = X.event(E);
-  bool Interior = PosOf[E] > 0 && PosOf[E] + 1 < ThreadSize[ThreadOf[E]];
-
-  // Reads and writes, over the available locations (first-use canonical:
-  // an event may use any previously used location or the next fresh one).
-  unsigned LocLimit = std::min(LocsUsed + 1, V.MaxLocations);
-  for (unsigned L = 0; L < LocLimit; ++L) {
-    unsigned NewUsed = std::max(LocsUsed, L + 1);
-    for (MemOrder MO : V.ReadOrders) {
-      Ev = Event();
-      Ev.Kind = EventKind::Read;
-      Ev.Thread = ThreadOf[E];
-      Ev.Loc = static_cast<LocId>(L);
-      Ev.Order = MO;
-      chooseEvents(E + 1, NewUsed);
-      if (Aborted)
-        return;
-    }
-    for (MemOrder MO : V.WriteOrders) {
-      Ev = Event();
-      Ev.Kind = EventKind::Write;
-      Ev.Thread = ThreadOf[E];
-      Ev.Loc = static_cast<LocId>(L);
-      Ev.Order = MO;
-      chooseEvents(E + 1, NewUsed);
-      if (Aborted)
-        return;
-    }
-  }
-
-  // Fences: only interior to a thread (a boundary fence orders nothing and
-  // can never appear in a minimal test).
-  if (Interior) {
-    for (FenceKind FK : V.Fences) {
-      if (FK == FenceKind::CppFence) {
-        for (MemOrder MO : V.FenceOrders) {
-          Ev = Event();
-          Ev.Kind = EventKind::Fence;
-          Ev.Thread = ThreadOf[E];
-          Ev.Fence = FK;
-          Ev.Order = MO;
-          chooseEvents(E + 1, LocsUsed);
-          if (Aborted)
-            return;
-        }
-      } else {
-        Ev = Event();
-        Ev.Kind = EventKind::Fence;
-        Ev.Thread = ThreadOf[E];
-        Ev.Fence = FK;
-        chooseEvents(E + 1, LocsUsed);
-        if (Aborted)
-          return;
-      }
-    }
-  }
-  Ev = Event();
-  Ev.Thread = ThreadOf[E];
+  forEachLabelChoice(E, LocsUsed, [&](const Event &Ev, unsigned NewUsed) {
+    X.event(E) = Ev;
+    chooseEvents(E + 1, NewUsed);
+    return !Aborted;
+  });
+  X.event(E) = Event();
+  X.event(E).Thread = ThreadOf[E];
 }
 
 bool BaseSearch::locationFilterOk() const {
@@ -483,6 +528,63 @@ bool ExecutionEnumerator::forEachBaseSharded(
   S.Shard = Shard;
   S.NumShards = NumShards;
   S.run();
+  return !S.Aborted;
+}
+
+void ExecutionEnumerator::forEachSkeleton(
+    const std::function<void(const std::vector<unsigned> &)> &F) const {
+  forEachSkeletonImpl(Num, Vocab.MaxThreads,
+                      [&](const std::vector<unsigned> &Sizes) {
+    F(Sizes);
+    return true;
+  });
+}
+
+std::vector<BasePrefix>
+ExecutionEnumerator::expandPrefix(const BasePrefix &P) const {
+  std::vector<BasePrefix> Children;
+  unsigned K = static_cast<unsigned>(P.Labels.size());
+  if (K >= Num)
+    return Children;
+  std::function<bool(Execution &)> NoSink = [](Execution &) { return true; };
+  BaseSearch S(Vocab, Num, NoSink);
+  S.materializeSkeleton(P.Sizes);
+  unsigned LocsUsed = S.applyLabels(P);
+  S.forEachLabelChoice(K, LocsUsed, [&](const Event &Ev, unsigned) {
+    BasePrefix C = P;
+    C.Labels.push_back(Ev);
+    Children.push_back(std::move(C));
+    return true;
+  });
+  return Children;
+}
+
+double ExecutionEnumerator::estimateCost(const BasePrefix &P) const {
+  unsigned FenceChoices = 0;
+  for (FenceKind FK : Vocab.Fences)
+    FenceChoices += FK == FenceKind::CppFence
+                        ? static_cast<unsigned>(Vocab.FenceOrders.size())
+                        : 1;
+  unsigned AccessChoices =
+      Vocab.MaxLocations * static_cast<unsigned>(Vocab.ReadOrders.size() +
+                                                 Vocab.WriteOrders.size());
+  double Cost = 1;
+  unsigned E = 0;
+  for (unsigned T = 0; T < P.Sizes.size(); ++T)
+    for (unsigned Pos = 0; Pos < P.Sizes[T]; ++Pos, ++E) {
+      if (E < P.Labels.size())
+        continue; // already decided
+      bool Interior = Pos > 0 && Pos + 1 < P.Sizes[T];
+      Cost *= AccessChoices + (Interior ? FenceChoices : 0);
+    }
+  return Cost;
+}
+
+bool ExecutionEnumerator::forEachBasePrefixed(
+    const BasePrefix &P, const std::function<bool(Execution &)> &F) const {
+  assert(!P.Sizes.empty() && P.Labels.size() <= Num && "malformed prefix");
+  BaseSearch S(Vocab, Num, F);
+  S.runPrefixed(P);
   return !S.Aborted;
 }
 

@@ -13,17 +13,34 @@
 /// one of which is a write (an access without a communication edge cannot
 /// lie on a violation cycle), and fences are interior to their thread.
 ///
-/// The search space can be sharded for parallel enumeration: the first
-/// branching decision of the canonical-skeleton DFS (the size of the
-/// largest thread) is dealt round-robin across shards, so the shards
-/// partition the space exactly and each can run on its own thread with an
-/// independent `Execution` buffer and `ExecutionAnalysis` arena.
+/// The search space can be partitioned for parallel enumeration two ways:
+///
+///  * statically (`forEachBaseSharded`): the first branching decision of
+///    the canonical-skeleton DFS (the size of the largest thread) is dealt
+///    round-robin across shards — simple, but shard sizes are wildly
+///    unequal, so it is kept as the load-balance baseline;
+///  * by *prefix tasks* (`forEachSkeleton` / `expandPrefix` /
+///    `forEachBasePrefixed`): a `BasePrefix` names one subtree of the DFS
+///    — a complete skeleton plus the first K event labels — and can be
+///    either *expanded* into one child per admissible label of event K or
+///    *resumed*, visiting exactly the bases below it. The children of a
+///    prefix are produced by the same choice generator the plain DFS
+///    recursion uses, so for any expansion depth the frontier partitions
+///    the base space exactly (no base visited twice, none missed) and the
+///    visit order below one prefix equals the sequential DFS order. This
+///    is the resumability contract the work-stealing synthesis
+///    (`enumerate/WorkQueue.h`, `synthesizeForbid`) and the canonical-hash
+///    dedup depend on; `tests/sharding_differential_test.cpp` pins it.
+///
+/// Either way, each parallel unit runs with an independent `Execution`
+/// buffer and `ExecutionAnalysis` arena; nothing is shared.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_ENUMERATE_ENUMERATOR_H
 #define TMW_ENUMERATE_ENUMERATOR_H
 
+#include "enumerate/Prefix.h"
 #include "execution/Execution.h"
 #include "models/MemoryModel.h"
 
@@ -75,6 +92,32 @@ public:
   /// concurrent threads.
   bool forEachBaseSharded(unsigned Shard, unsigned NumShards,
                           const std::function<bool(Execution &)> &F) const;
+
+  /// Invoke \p F on every canonical skeleton (non-increasing thread-size
+  /// vector summing to `numEvents()`, at most `MaxThreads` parts) in DFS
+  /// order. The skeletons are the root prefixes (`Labels` empty) of the
+  /// prefix-task decomposition.
+  void forEachSkeleton(
+      const std::function<void(const std::vector<unsigned> &)> &F) const;
+
+  /// The children of \p P: one prefix per admissible label of event
+  /// `P.Labels.size()`, in the order the sequential DFS tries them.
+  /// Empty when \p P is fully labelled. Replacing any task by its
+  /// children preserves exact partitioning of the base space.
+  std::vector<BasePrefix> expandPrefix(const BasePrefix &P) const;
+
+  /// Upper bound on the number of labelled completions below \p P (the
+  /// product of per-position branching-factor bounds). Strictly shrinks
+  /// along any expansion; the pool splits tasks until it falls under a
+  /// target cost.
+  double estimateCost(const BasePrefix &P) const;
+
+  /// Resume the base DFS below \p P: invoke \p F on exactly the
+  /// well-formed bases whose skeleton is `P.Sizes` and whose first
+  /// `P.Labels.size()` event labels equal `P.Labels`, in sequential DFS
+  /// order. \p F returns false to abort; the result is false when aborted.
+  bool forEachBasePrefixed(const BasePrefix &P,
+                           const std::function<bool(Execution &)> &F) const;
 
   /// Invoke \p F on every placement of at least one successful transaction
   /// over \p X (the Txn fields are mutated in place and restored). \p F

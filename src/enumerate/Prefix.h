@@ -1,0 +1,35 @@
+//===- Prefix.h - Resumable prefixes of the base-execution DFS --*- C++ -*-==//
+///
+/// \file
+/// The unit of parallel decomposition for the canonical base-execution
+/// search: a complete skeleton plus the first K event-labelling
+/// decisions. `ExecutionEnumerator` expands and resumes prefixes
+/// (Enumerator.h); `WorkQueue` schedules them (WorkQueue.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_ENUMERATE_PREFIX_H
+#define TMW_ENUMERATE_PREFIX_H
+
+#include "execution/Event.h"
+
+#include <vector>
+
+namespace tmw {
+
+/// A resumable prefix of the canonical base-execution DFS: the complete
+/// skeleton plus the labels already fixed for the first `Labels.size()`
+/// events. `Labels.size() == sum(Sizes)` denotes a fully labelled base
+/// family (only the rmw/dep/rf/co stages remain below it).
+struct BasePrefix {
+  /// Thread sizes, non-increasing, summing to the enumerator's event count.
+  std::vector<unsigned> Sizes;
+  /// Labels of events `0 .. Labels.size()-1` in thread-major id order.
+  /// Only `Kind`, `Loc`, `Order` and `Fence` are meaningful; the thread is
+  /// implied by the skeleton.
+  std::vector<Event> Labels;
+};
+
+} // namespace tmw
+
+#endif // TMW_ENUMERATE_PREFIX_H

@@ -356,6 +356,14 @@ std::vector<uint8_t> tmw::canonicalEncoding(const Execution &X) {
   return Best;
 }
 
+std::vector<uint8_t> tmw::concreteEncoding(const Execution &X) {
+  std::vector<unsigned> ThreadPerm(X.numThreads());
+  std::iota(ThreadPerm.begin(), ThreadPerm.end(), 0);
+  std::vector<unsigned> LocPerm(X.numLocations());
+  std::iota(LocPerm.begin(), LocPerm.end(), 0);
+  return encodeWith(X, ThreadPerm, LocPerm);
+}
+
 uint64_t tmw::canonicalHash(const Execution &X) {
   std::vector<uint8_t> Enc = canonicalEncoding(X);
   uint64_t H = 0xcbf29ce484222325ull;

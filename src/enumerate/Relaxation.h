@@ -48,6 +48,13 @@ bool isMinimallyInconsistent(const ExecutionAnalysis &A, const MemoryModel &M,
 /// such renamings.
 std::vector<uint8_t> canonicalEncoding(const Execution &X);
 
+/// The same serialisation with the identity renaming — a total key on
+/// *concrete* executions that discriminates between symmetry-equivalent
+/// ones (which share `canonicalEncoding`). The synthesis layer keeps the
+/// least-keyed representative of each canonical class, making the suite
+/// byte-for-byte independent of enumeration order and shard count.
+std::vector<uint8_t> concreteEncoding(const Execution &X);
+
 /// FNV hash of `canonicalEncoding`.
 uint64_t canonicalHash(const Execution &X);
 

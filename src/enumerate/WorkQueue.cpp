@@ -1,0 +1,89 @@
+//===- WorkQueue.cpp - Work-stealing pool over enumeration prefixes -----------==//
+
+#include "enumerate/WorkQueue.h"
+
+#include <cassert>
+
+using namespace tmw;
+
+WorkQueue::WorkQueue(unsigned NumWorkers) {
+  assert(NumWorkers > 0 && "pool needs at least one worker");
+  Deques.resize(NumWorkers);
+}
+
+void WorkQueue::seed(BasePrefix P) {
+  // Front-insert so each deque's *back* is its earliest seed: the owner's
+  // LIFO pop then walks its share in sequential-DFS order (thread-rich
+  // skeletons first — the front-loaded discovery order of Fig. 7).
+  Deques[SeedCursor].push_front(std::move(P));
+  SeedCursor = (SeedCursor + 1) % Deques.size();
+}
+
+bool WorkQueue::pop(unsigned Worker, BasePrefix &Out, bool &WasSteal) {
+  std::unique_lock<std::mutex> Lock(Mu);
+  for (;;) {
+    if (Cancelled)
+      return false;
+    // Own deque: newest first — descend depth-first, keeping the deque
+    // shallow and leaving the big old prefixes for thieves.
+    std::deque<BasePrefix> &Own = Deques[Worker];
+    if (!Own.empty()) {
+      Out = std::move(Own.back());
+      Own.pop_back();
+      ++InFlight;
+      WasSteal = false;
+      return true;
+    }
+    // Steal: oldest prefix of the fullest victim (shallowest prefixes
+    // cover the most work, so one steal buys the longest independence).
+    unsigned Victim = Deques.size();
+    size_t Best = 0;
+    for (unsigned D = 0; D < Deques.size(); ++D)
+      if (Deques[D].size() > Best) {
+        Best = Deques[D].size();
+        Victim = D;
+      }
+    if (Victim < Deques.size()) {
+      Out = std::move(Deques[Victim].front());
+      Deques[Victim].pop_front();
+      ++InFlight;
+      WasSteal = true;
+      return true;
+    }
+    // Globally empty: done only once no in-flight task can still split.
+    if (InFlight == 0) {
+      Cv.notify_all();
+      return false;
+    }
+    Cv.wait(Lock);
+  }
+}
+
+void WorkQueue::push(unsigned Worker, BasePrefix P) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Deques[Worker].push_back(std::move(P));
+  }
+  Cv.notify_one();
+}
+
+void WorkQueue::finish(unsigned Worker) {
+  (void)Worker;
+  std::lock_guard<std::mutex> Lock(Mu);
+  assert(InFlight > 0 && "finish without a matching pop");
+  if (--InFlight == 0)
+    Cv.notify_all(); // possible termination: wake everyone to re-check
+}
+
+void WorkQueue::cancel() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Cancelled = true;
+  }
+  Cv.notify_all();
+}
+
+bool WorkQueue::cancelled() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return Cancelled;
+}

@@ -1,0 +1,88 @@
+//===- WorkQueue.h - Work-stealing pool over enumeration prefixes -*- C++ -*-==//
+///
+/// \file
+/// A work-stealing task pool whose units are *canonical-DFS prefixes* of
+/// the base-execution search (`BasePrefix`): a complete skeleton (the
+/// non-increasing thread-size vector, i.e. every decision up to and
+/// including the last skeleton choice) plus the first K event-labelling
+/// decisions in thread-major event order. The prefixes held by the pool
+/// partition the unexplored base space exactly at every instant: a task is
+/// either *split* — replaced by one child per admissible label of event K,
+/// which `ExecutionEnumerator::expandPrefix` derives from the same choice
+/// generator the sequential DFS uses — or *run* to completion via
+/// `ExecutionEnumerator::forEachBasePrefixed`. Splitting is driven by the
+/// consumer (typically until `estimateCost` falls under a target), so K
+/// adapts to the local branching structure instead of being fixed.
+///
+/// Each worker owns a deque: locally produced children are pushed and
+/// popped LIFO (depth-first locality, bounded memory), and an idle worker
+/// steals the *oldest* — shallowest, hence biggest — unexpanded prefix
+/// from the fullest victim deque. Operations are guarded by one pool
+/// mutex; tasks are coarse (thousands of label completions), so the lock
+/// is not contended. Termination is exact: `pop` blocks until a task is
+/// available and only returns false when every deque is empty and no
+/// popped task is still being processed (`finish` not yet called), or the
+/// pool was cancelled (e.g. on budget exhaustion).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_ENUMERATE_WORKQUEUE_H
+#define TMW_ENUMERATE_WORKQUEUE_H
+
+#include "enumerate/Prefix.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+namespace tmw {
+
+/// Work-stealing pool of `BasePrefix` tasks. Thread-safe; one instance per
+/// parallel search.
+class WorkQueue {
+public:
+  explicit WorkQueue(unsigned NumWorkers);
+
+  /// Deal a root task round-robin across the worker deques (front-insert,
+  /// so each owner's LIFO pop walks its seeds in the order they were
+  /// dealt). Call before the workers start (not thread-safe against
+  /// pop/push).
+  void seed(BasePrefix P);
+
+  /// Get the next task for \p Worker: own deque LIFO first, otherwise
+  /// steal the oldest prefix from the fullest other deque (\p WasSteal
+  /// reports which). Blocks while the pool is momentarily empty but some
+  /// worker still holds a task it may split. Returns false when the space
+  /// is exhausted or `cancel()` was called.
+  bool pop(unsigned Worker, BasePrefix &Out, bool &WasSteal);
+
+  /// Push a child task produced by splitting \p Worker's current task.
+  void push(unsigned Worker, BasePrefix P);
+
+  /// Mark \p Worker's current task fully processed (run or split). Every
+  /// successful `pop` must be paired with exactly one `finish`.
+  void finish(unsigned Worker);
+
+  /// Abort: wake every blocked worker and make all pops return false.
+  /// Tasks still queued are dropped.
+  void cancel();
+  bool cancelled() const;
+
+  unsigned numWorkers() const {
+    return static_cast<unsigned>(Deques.size());
+  }
+
+private:
+  mutable std::mutex Mu;
+  std::condition_variable Cv;
+  std::vector<std::deque<BasePrefix>> Deques;
+  /// Tasks popped but not yet finished; termination needs it zero.
+  unsigned InFlight = 0;
+  unsigned SeedCursor = 0;
+  bool Cancelled = false;
+};
+
+} // namespace tmw
+
+#endif // TMW_ENUMERATE_WORKQUEUE_H

@@ -15,15 +15,27 @@
 /// the timeout column of the paper's Table 1. Discovery timestamps are
 /// recorded to reproduce the Fig. 7 distribution.
 ///
-/// The search is shardable (`Jobs > 1`): the canonical-skeleton space is
-/// partitioned on its first branching decision, each shard runs on its own
-/// `std::thread` with a private `ExecutionAnalysis` arena (reset per base,
-/// transaction-state-invalidated per placement), and the per-shard results
-/// are merged with canonical-hash deduplication afterwards. Models are
-/// stateless and shared by const reference across shards. The deduplicated
-/// test *set* is the same for every `Jobs` value (the shards partition the
-/// space exactly); which symmetry-equivalent representative of each test
-/// survives, and the order of `Tests`, can vary with the shard count.
+/// The search is parallel (`Jobs > 1`) and, by default, *work-stealing*:
+/// the canonical-DFS space is decomposed into (skeleton, event-labelling)
+/// prefix tasks (`enumerate/WorkQueue.h`) that workers split adaptively
+/// until they fall under a target cost and steal from each other when
+/// idle, so load balances even though subtree sizes are wildly unequal.
+/// Each worker runs with a private `ExecutionAnalysis` arena (reset per
+/// base, transaction-state-invalidated per placement) and a private result
+/// buffer; models are stateless and shared by const reference. The
+/// previous static round-robin sharding over the first skeleton decision
+/// is kept as `ShardStrategy::StaticRoundRobin`, the load-balance baseline
+/// of `bench/shard_balance`.
+///
+/// The merged output is *deterministic*: the prefix tasks partition the
+/// base space exactly, duplicates are collapsed by canonical hash keeping
+/// the representative with the least `concreteEncoding` (and the earliest
+/// discovery time), and `Tests` is sorted by canonical hash — so whenever
+/// the search runs to completion (`Complete == true`), the suite is
+/// byte-for-byte identical for every `Jobs` value and both strategies. A
+/// budget-truncated run visits a scheduling-dependent subset and forfeits
+/// the guarantee. `tests/sharding_differential_test.cpp` pins both the
+/// partition and the determinism.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -36,29 +48,60 @@
 
 namespace tmw {
 
+/// How the search space is dealt to parallel workers.
+enum class ShardStrategy {
+  /// Prefix tasks split adaptively and stolen by idle workers (default).
+  WorkStealing,
+  /// The first skeleton decision dealt round-robin to fixed shards — the
+  /// historical scheme, kept as the load-balance baseline.
+  StaticRoundRobin,
+};
+
+/// Per-worker load telemetry (one entry per worker/shard actually run).
+struct WorkerLoad {
+  /// Wall-clock seconds this worker spent processing tasks.
+  double BusySeconds = 0;
+  /// Tasks processed / tasks split into children / tasks obtained by
+  /// stealing. Static sharding runs one task per shard and never splits
+  /// or steals.
+  uint64_t Tasks = 0, Splits = 0, Steals = 0;
+  /// Base executions this worker visited.
+  uint64_t BasesVisited = 0;
+};
+
 /// The Forbid suite for one event count.
 struct ForbidSuite {
   unsigned NumEvents = 0;
   /// False when the time budget stopped the search early.
   bool Complete = true;
   double SynthesisSeconds = 0;
-  /// Canonical representatives of the minimally-forbidden executions.
+  /// Canonical representatives of the minimally-forbidden executions,
+  /// sorted by canonical hash; each class is represented by its least
+  /// `concreteEncoding` member, so the vector is byte-for-byte identical
+  /// for every `Jobs` value and strategy (given a sufficient budget).
   std::vector<Execution> Tests;
-  /// Wall-clock second (from search start) each test was first found.
+  /// Earliest wall-clock second (from search start) each test was found,
+  /// aligned with `Tests` (timing data: not deterministic).
   std::vector<double> FoundAtSeconds;
   /// Number of base executions visited and consistency checks performed.
   uint64_t BasesVisited = 0, PlacementsVisited = 0;
+  /// Per-worker load balance of this run.
+  std::vector<WorkerLoad> Workers;
 };
 
 /// Synthesise the Forbid suite: executions with \p NumEvents events that
 /// are minimally inconsistent under \p TmModel and consistent under
-/// \p Baseline. \p Jobs > 1 enumerates shards of the skeleton space on
-/// that many threads and merges the deduplicated results (same canonical
-/// test set for any Jobs; representatives/order may differ).
+/// \p Baseline. \p Jobs > 1 runs that many worker threads over the
+/// strategy's decomposition of the skeleton space; when the search
+/// completes within the budget, the deduplicated, hash-sorted result is
+/// identical — including representatives and order — for every Jobs value
+/// and strategy.
 ForbidSuite synthesizeForbid(const MemoryModel &TmModel,
                              const MemoryModel &Baseline,
                              const Vocabulary &V, unsigned NumEvents,
-                             double BudgetSeconds = 1e18, unsigned Jobs = 1);
+                             double BudgetSeconds = 1e18, unsigned Jobs = 1,
+                             ShardStrategy Strategy =
+                                 ShardStrategy::WorkStealing);
 
 /// The Allow suite: deduplicated one-step relaxations of \p Forbid
 /// (all consistent under the TM model by minimality).
