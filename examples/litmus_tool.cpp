@@ -1,51 +1,56 @@
-//===- litmus_tool.cpp - A herd/litmus-style command-line tool ------------------==//
+//===- litmus_tool.cpp - A herd/litmus-style batch query tool -------------------==//
 ///
-/// Reads a litmus test in the DSL (from a file or stdin), enumerates its
-/// candidate executions, reports the outcomes allowed by each memory
-/// model, and runs the test on the simulated hardware.
+/// The CLI frontend of the batch query engine (query/QueryEngine.h): reads
+/// litmus tests in the DSL (files, the built-in corpus, or a demo test),
+/// checks each against a list of registry model specs — enumerating each
+/// program's candidates once and sharing them across all models — and
+/// reports per-model verdicts, with optional per-axiom diagnostics and
+/// machine-readable JSON output.
 ///
-/// Usage:   ./litmus_tool [--model <spec>]... [--explain] [file.litmus]
-/// Example: ./litmus_tool               (runs a built-in SB+txn demo)
-///          ./litmus_tool --model power/-TxnOrder --explain sb.litmus
+/// Usage:   ./litmus_tool [options] [file.litmus ...]
+/// Example: ./litmus_tool --model power/-TxnOrder --explain sb.litmus
+///          ./litmus_tool --corpus --json --jobs 4 > verdicts.json
 ///
 /// Flags:
 ///   --model <spec>   check against this model instead of the default six.
 ///                    Repeatable. <spec> follows the registry grammar
-///                    (ModelRegistry.h): an architecture name optionally
-///                    followed by "/"-separated ablation modifiers —
-///                    "x86", "power/-TxnOrder", "cpp/+baseline",
-///                    "armv8/-tfence/-StrongIsol", ...
-///   --explain        for each model that forbids some candidate, print
+///                    (ModelRegistry.h): an architecture or hardware-
+///                    substitute name optionally followed by "/"-separated
+///                    ablation modifiers — "x86", "power/-TxnOrder",
+///                    "cpp/+baseline", "power8", "armv8-rtl", "x86-impl".
+///   --corpus         add every test of the built-in litmus corpus
+///                    (litmus/Library.h) to the batch.
+///   --json           emit the canonical batch JSON (query/QueryIO.h) on
+///                    stdout: byte-for-byte identical for every --jobs
+///                    value. Implies --outcomes.
+///   --explain        for each model that forbids some candidate, report
 ///                    the failed axioms of the first forbidden candidate
-///                    and the witness events (the cycle in the axiom's
-///                    term) extracted by MemoryModel::checkAll.
+///                    and the witness events.
+///   --outcomes       collect each model's allowed outcome set.
+///   --jobs N         evaluate the batch on N work-stealing pool workers.
+///   --cap N          stop each program's enumeration after N candidates.
+///   --telemetry      append batch timing + per-worker load to the JSON
+///                    (forfeits cross-jobs byte-determinism).
 ///
-/// DSL example:
-///   name SB
-///   thread 0
-///     store x 1
-///     load y
-///   thread 1
-///     store y 1
-///     load x
-///   post reg 0 r1 0
-///   post reg 1 r1 0
+/// Exit status: 0 on success, 1 when any request failed (e.g. a DSL parse
+/// error — reported as a one-line `file:line: message` diagnostic), 2 on
+/// usage errors (unknown flag, unreadable file, bad --model spec).
 ///
 //===----------------------------------------------------------------------===//
 
-#include "enumerate/Candidates.h"
-#include "hw/ImplModel.h"
-#include "hw/LitmusRunner.h"
-#include "hw/TsoMachine.h"
+#include "litmus/Library.h"
 #include "litmus/Parser.h"
-#include "litmus/Printer.h"
 #include "models/ModelRegistry.h"
+#include "query/QueryEngine.h"
+#include "query/QueryIO.h"
 
+#include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
-#include <memory>
 #include <sstream>
+#include <string>
 #include <vector>
 
 using namespace tmw;
@@ -69,140 +74,189 @@ post reg 0 r3 0
 post reg 1 r3 0
 )";
 
-void explainCandidate(const MemoryModel &M, const Candidate &C,
-                      size_t Index) {
-  ExecutionAnalysis A(C.X);
-  CheckReport Report = M.checkAll(A);
-  std::printf("  %s forbids candidate #%zu:\n", M.name(), Index);
-  for (const AxiomVerdict &V : Report.Verdicts) {
-    if (V.Holds)
-      continue;
-    std::printf("    axiom %-14s violated: not %s; witness events {",
-                V.Ax->Name.data(), axiomKindName(V.Ax->Kind));
-    bool First = true;
-    for (EventId E : V.Witness) {
-      std::printf("%s%u", First ? "" : ", ", E);
-      First = false;
-    }
-    std::printf("}\n");
+/// One-line compiler-style diagnostic for a failed response; parse errors
+/// carry the source line (`file:line: message`).
+std::string diagnosticOf(const CheckResponse &Resp,
+                         const std::string &File) {
+  if (Resp.ErrorLine > 0 && !File.empty())
+    return File + ":" + std::to_string(Resp.ErrorLine) + ": " + Resp.Error;
+  std::string Out = "error: ";
+  if (!Resp.Name.empty())
+    Out += Resp.Name + ": ";
+  return Out + Resp.Error;
+}
+
+void printResponse(const CheckResponse &Resp, const std::string &File,
+                   bool Explain) {
+  if (!Resp) {
+    std::fprintf(stderr, "%s\n", diagnosticOf(Resp, File).c_str());
+    return;
   }
-  std::printf("%s", C.X.dump().c_str());
+
+  std::printf("%s: %llu candidate executions%s\n", Resp.Name.c_str(),
+              static_cast<unsigned long long>(Resp.Candidates),
+              Resp.Truncated ? " (cap hit: verdicts cover a prefix)" : "");
+  std::printf("  %-28s %9s %11s   postcondition\n", "model", "allowed",
+              "candidates");
+  for (const ModelVerdict &V : Resp.Verdicts)
+    std::printf("  %-28s %9llu %11llu   %s\n", V.Spec.c_str(),
+                static_cast<unsigned long long>(V.Consistent),
+                static_cast<unsigned long long>(Resp.Candidates),
+                V.Allowed ? "REACHABLE" : "unreachable");
+  if (Explain)
+    for (const ModelVerdict &V : Resp.Verdicts) {
+      if (V.FirstForbidden < 0) {
+        std::printf("  %s allows every candidate\n", V.Spec.c_str());
+        continue;
+      }
+      std::printf("  %s forbids candidate #%lld:\n", V.Spec.c_str(),
+                  static_cast<long long>(V.FirstForbidden));
+      for (const FailedAxiomInfo &F : V.FailedAxioms) {
+        std::printf("    axiom %-14s violated; witness events {",
+                    F.Axiom.c_str());
+        bool First = true;
+        for (EventId E : F.Witness) {
+          std::printf("%s%u", First ? "" : ", ", E);
+          First = false;
+        }
+        std::printf("}\n");
+      }
+    }
+  std::printf("\n");
 }
 
 } // namespace
 
 int main(int Argc, char **Argv) {
   std::vector<std::string> ModelSpecs;
-  bool Explain = false;
-  const char *File = nullptr;
+  std::vector<const char *> Files;
+  bool Corpus = false, Json = false, Explain = false, Outcomes = false;
+  bool Telemetry = false;
+  unsigned Jobs = 1;
+  uint64_t Cap = 0;
+
   for (int I = 1; I < Argc; ++I) {
-    if (std::strcmp(Argv[I], "--model") == 0 && I + 1 < Argc) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--model") == 0 && I + 1 < Argc) {
       ModelSpecs.push_back(Argv[++I]);
-    } else if (std::strncmp(Argv[I], "--model=", 8) == 0) {
-      ModelSpecs.push_back(Argv[I] + 8);
-    } else if (std::strcmp(Argv[I], "--explain") == 0) {
+    } else if (std::strncmp(A, "--model=", 8) == 0) {
+      ModelSpecs.push_back(A + 8);
+    } else if (std::strcmp(A, "--corpus") == 0) {
+      Corpus = true;
+    } else if (std::strcmp(A, "--json") == 0) {
+      Json = true;
+    } else if (std::strcmp(A, "--explain") == 0) {
       Explain = true;
+    } else if (std::strcmp(A, "--outcomes") == 0) {
+      Outcomes = true;
+    } else if (std::strcmp(A, "--telemetry") == 0) {
+      Telemetry = true;
+    } else if (std::strcmp(A, "--jobs") == 0 && I + 1 < Argc) {
+      Jobs = std::max(1, std::atoi(Argv[++I]));
+    } else if (std::strncmp(A, "--jobs=", 7) == 0) {
+      Jobs = std::max(1, std::atoi(A + 7));
+    } else if (std::strcmp(A, "--cap") == 0 && I + 1 < Argc) {
+      Cap = std::strtoull(Argv[++I], nullptr, 10);
+    } else if (std::strncmp(A, "--cap=", 6) == 0) {
+      Cap = std::strtoull(A + 6, nullptr, 10);
+    } else if (std::strncmp(A, "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", A);
+      return 2;
     } else {
-      File = Argv[I];
+      Files.push_back(A);
     }
   }
 
-  std::string Text;
-  if (File) {
+  // Robustness: reject bad model specs before doing any work, with the
+  // registry's one-line diagnostic (names the offending token and the
+  // alternatives).
+  for (const std::string &Spec : ModelSpecs) {
+    std::string Error;
+    if (!ModelRegistry::parse(Spec, &Error)) {
+      std::fprintf(stderr, "error: --model %s: %s\n", Spec.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+  }
+
+  // Assemble the batch: one request per file, plus the corpus, plus the
+  // demo when nothing else was given. FileOf tracks provenance for
+  // diagnostics.
+  std::vector<CheckRequest> Requests;
+  std::vector<std::string> FileOf;
+  auto Add = [&](CheckRequest R, std::string File) {
+    R.ModelSpecs = ModelSpecs;
+    R.Explain = Explain;
+    R.WantOutcomes = Outcomes || Json;
+    R.CandidateCap = Cap;
+    Requests.push_back(std::move(R));
+    FileOf.push_back(std::move(File));
+  };
+  for (const char *File : Files) {
     std::ifstream In(File);
     if (!In) {
       std::fprintf(stderr, "error: cannot open %s\n", File);
-      return 1;
+      return 2;
     }
     std::stringstream Ss;
     Ss << In.rdbuf();
-    Text = Ss.str();
+    CheckRequest R;
+    R.Source = Ss.str();
+    // Fail fast on unparseable input, before any batch work: one
+    // compiler-style line, nonzero exit.
+    if (ParseResult PR = parseProgram(R.Source); !PR) {
+      std::fprintf(stderr, "%s\n", PR.diagnostic(File).c_str());
+      return 1;
+    }
+    Add(std::move(R), File);
+  }
+  if (Corpus)
+    for (const CorpusEntry &E : standardCorpus()) {
+      CheckRequest R;
+      R.Corpus = E.Name;
+      Add(std::move(R), "");
+    }
+  if (Requests.empty()) {
+    if (!Json)
+      std::printf("(no input files: running the built-in demo test)\n\n");
+    CheckRequest R;
+    R.Source = DemoTest;
+    Add(std::move(R), "");
+  }
+
+  QueryEngine Engine({Jobs});
+  int Failed = 0;
+
+  if (Json) {
+    BatchTelemetry T;
+    std::vector<CheckResponse> Responses = Engine.runAll(Requests, &T);
+    for (size_t I = 0; I < Responses.size(); ++I)
+      if (!Responses[I]) {
+        ++Failed;
+        // Mirror the diagnostic on stderr so a nonzero exit explains
+        // itself even when stdout is redirected to a file.
+        std::fprintf(stderr, "%s\n",
+                     diagnosticOf(Responses[I], FileOf[I]).c_str());
+      }
+    std::fputs(
+        responsesToJson(Responses, Telemetry ? &T : nullptr).c_str(),
+        stdout);
   } else {
-    std::printf("(no input file: running the built-in demo test)\n\n");
-    Text = DemoTest;
+    // Stream: responses print as they complete, in request order.
+    size_t Index = 0;
+    BatchTelemetry T = Engine.run(Requests, [&](const CheckResponse &Resp) {
+      if (!Resp)
+        ++Failed;
+      printResponse(Resp, FileOf[Index], Explain);
+      ++Index;
+    });
+    if (Requests.size() > 1 || Jobs > 1)
+      std::printf("batch: %llu programs, %llu candidates, %llu checks in "
+                  "%.2fs on %zu worker%s\n",
+                  static_cast<unsigned long long>(T.Programs),
+                  static_cast<unsigned long long>(T.Candidates),
+                  static_cast<unsigned long long>(T.Checks), T.Seconds,
+                  T.Workers.size(), T.Workers.size() == 1 ? "" : "s");
   }
-
-  ParseResult R = parseProgram(Text);
-  if (!R) {
-    std::fprintf(stderr, "parse error: %s\n", R.Error.c_str());
-    return 1;
-  }
-  const Program &P = R.Prog;
-  std::printf("%s\n", printGeneric(P).c_str());
-
-  std::vector<Candidate> Cands = enumerateCandidates(P);
-  std::printf("%zu candidate executions\n\n", Cands.size());
-
-  // Default: the six architecture models; --model narrows/extends the
-  // list to arbitrary registry specs (any model x ablation scenario).
-  std::vector<std::unique_ptr<MemoryModel>> Models;
-  if (ModelSpecs.empty())
-    for (Arch A : ModelRegistry::allArchs())
-      Models.push_back(ModelRegistry::make(A));
-  else
-    for (const std::string &Spec : ModelSpecs) {
-      std::string Error;
-      std::unique_ptr<MemoryModel> M = ModelRegistry::parse(Spec, &Error);
-      if (!M) {
-        std::fprintf(stderr, "error: --model %s: %s\n", Spec.c_str(),
-                     Error.c_str());
-        return 1;
-      }
-      Models.push_back(std::move(M));
-    }
-
-  std::printf("%-24s %9s %9s   postcondition\n", "model", "allowed",
-              "outcomes");
-  std::vector<const Candidate *> FirstForbidden(Models.size(), nullptr);
-  std::vector<size_t> FirstForbiddenIndex(Models.size(), 0);
-  for (size_t MI = 0; MI < Models.size(); ++MI) {
-    const MemoryModel &M = *Models[MI];
-    unsigned Allowed = 0;
-    bool Post = false;
-    for (size_t CI = 0; CI < Cands.size(); ++CI) {
-      const Candidate &C = Cands[CI];
-      if (M.consistent(C.X)) {
-        ++Allowed;
-        Post |= C.O.satisfies(P);
-      } else if (!FirstForbidden[MI]) {
-        FirstForbidden[MI] = &C;
-        FirstForbiddenIndex[MI] = CI;
-      }
-    }
-    std::printf("%-24s %9u %9zu   %s\n",
-                ModelRegistry::print(M).c_str(), Allowed, Cands.size(),
-                Post ? "REACHABLE" : "unreachable");
-  }
-
-  if (Explain) {
-    std::printf("\nPer-axiom diagnostics (--explain):\n");
-    for (size_t MI = 0; MI < Models.size(); ++MI) {
-      if (!FirstForbidden[MI]) {
-        std::printf("  %s allows every candidate\n", Models[MI]->name());
-        continue;
-      }
-      explainCandidate(*Models[MI], *FirstForbidden[MI],
-                       FirstForbiddenIndex[MI]);
-    }
-  }
-
-  std::printf("\nSimulated hardware campaigns:\n");
-  {
-    TsoMachine M(P);
-    RunReport Rep = runOnTso(P, 1000000);
-    std::printf("  x86 TSX machine   : postcondition %s (%zu distinct "
-                "outcomes)\n",
-                Rep.Seen ? "OBSERVED" : "never observed",
-                Rep.Histogram.size());
-    for (const auto &[O, N] : Rep.Histogram)
-      std::printf("    %9llu  %s\n", static_cast<unsigned long long>(N),
-                  O.str(P).c_str());
-  }
-  {
-    ImplModel P8 = ImplModel::power8();
-    RunReport Rep = runOnImpl(P, P8, 1000000);
-    std::printf("  POWER8 (simulated): postcondition %s\n",
-                Rep.Seen ? "OBSERVED" : "never observed");
-  }
-  return 0;
+  return Failed ? 1 : 0;
 }

@@ -1,130 +1,59 @@
 //===- quickstart.cpp - First steps with the tmw library ------------------------==//
 ///
-/// Build an execution graph, check it against several memory models, and
-/// derive the litmus test that witnesses it — the core loop of the whole
-/// toolflow in ~60 lines. Models are resolved from registry spec strings
-/// (`ModelRegistry::parse`, e.g. "power" or "power/-tfence"), failures are
-/// explained per axiom via `checkAll`, and a final section synthesises a
-/// small conformance suite to show the sharded parallel search.
-///
-/// Run: ./quickstart [--jobs N]
-///
-///   --jobs N   run the conformance-suite search on N worker threads
-///              (default 1; also settable via TMW_BENCH_JOBS, shared with
-///              the bench binaries). Workers pull (skeleton,
-///              event-labelling) prefix tasks from a work-stealing pool,
-///              splitting big subtrees and stealing when idle; the
-///              merged suite is deduplicated by canonical hash and
-///              hash-sorted, so a run that completes within its budget
-///              is byte-for-byte identical for every N.
+/// The whole toolflow in one request/response round-trip (query/Query.h):
+/// describe a litmus test in the DSL, name the models to check it against
+/// — any registry spec, including ablations ("power/-TxnOrder") and
+/// hardware substitutes ("power8") — and let the `QueryEngine` enumerate
+/// the candidates once, check every model over the shared analysis, and
+/// explain each forbidding model's failed axioms. The same API scales to
+/// corpus-sized batches on the work-stealing pool (`BatchOptions::Jobs`)
+/// with deterministic, JSON-serialisable verdicts; see examples/litmus_tool
+/// for the full CLI and bench/corpus_matrix for the batch throughput view.
 ///
 //===----------------------------------------------------------------------===//
 
-#include "BenchUtil.h"
-#include "execution/Builder.h"
-#include "litmus/FromExecution.h"
-#include "litmus/Printer.h"
-#include "models/ModelRegistry.h"
-#include "synth/Conformance.h"
+#include "query/QueryEngine.h"
+#include "query/QueryIO.h"
 
 #include <cstdio>
-#include <memory>
-#include <vector>
 
 using namespace tmw;
 
-int main(int argc, char **argv) {
-  unsigned Jobs = bench::jobs(argc, argv);
-  // Message passing: thread 0 publishes data (x) then sets a flag (y);
-  // thread 1 sees the flag but reads stale data. The rf edge pins the
-  // flag read; the data read observes the initial value.
-  ExecutionBuilder B;
-  B.write(0, /*x=*/0, MemOrder::NonAtomic, 1);
-  EventId Flag = B.write(0, /*y=*/1, MemOrder::NonAtomic, 1);
-  EventId SeeFlag = B.read(1, 1);
-  B.read(1, 0); // stale read of x
-  B.rf(Flag, SeeFlag);
-  Execution Mp = B.build();
+int main() {
+  // Message passing with the writer inside a transaction (Fig. 2's shape):
+  // do the implicit fences at the transaction boundary forbid the stale
+  // read of x?
+  CheckRequest R;
+  R.Source = "name MP+txn+addr\n"
+             "thread 0\n"
+             "  txbegin\n"
+             "  store x 1\n"
+             "  store y 1\n"
+             "  txend\n"
+             "thread 1\n"
+             "  load y\n"
+             "  load x addr:r0\n"
+             "post reg 1 r0 1\n"
+             "post reg 1 r1 0\n";
+  // Any registry spec works: architectures, ablations, hardware
+  // substitutes. The non-transactional Power baseline allows the stale
+  // read; the transactional models forbid it and say which axiom bites.
+  R.ModelSpecs = {"sc", "x86", "power/+baseline", "power", "power8"};
+  R.Explain = true;
 
-  std::printf("Execution:\n%s\n", Mp.dump().c_str());
-
-  // Any model x ablation scenario is addressable as a spec string.
-  std::vector<std::unique_ptr<MemoryModel>> Models;
-  for (const char *Spec : {"sc", "x86", "power", "armv8"})
-    Models.push_back(ModelRegistry::parse(Spec));
-
-  std::printf("Is the stale read allowed?\n");
-  for (const auto &M : Models) {
-    ConsistencyResult R = M->check(Mp);
-    std::printf("  %-8s %s%s%.*s\n", M->name(),
-                R.Consistent ? "allowed" : "forbidden",
-                R.FailedAxiom.empty() ? "" : " by ",
-                static_cast<int>(R.FailedAxiom.size()),
-                R.FailedAxiom.data());
+  CheckResponse Resp = QueryEngine().evaluate(R);
+  std::printf("%s: %llu candidates\n", Resp.Name.c_str(),
+              static_cast<unsigned long long>(Resp.Candidates));
+  for (const ModelVerdict &V : Resp.Verdicts) {
+    std::printf("  %-16s %s", V.Spec.c_str(),
+                V.Allowed ? "allows the stale read" : "forbids it");
+    for (const FailedAxiomInfo &F : V.FailedAxioms)
+      std::printf("  [violates %s]", F.Axiom.c_str());
+    std::printf("\n");
   }
 
-  // Wrap the writer in a transaction: the implicit fences at its
-  // boundaries and the transaction-ordering axioms forbid the stale read
-  // even on Power and ARMv8.
-  Execution MpTxn = Mp;
-  MpTxn.Txn[0] = 0;
-  MpTxn.Txn[1] = 0;
-  std::printf("\nSame shape with the writer inside a transaction:\n");
-  for (const auto &M : Models) {
-    if (M->arch() == Arch::SC)
-      continue;
-    // A dependency on the reader side is still needed on Power/ARMv8 —
-    // add one.
-    Execution X = MpTxn;
-    X.Addr.insert(SeeFlag, 3);
-    // checkAll reports every axiom's verdict plus, for each violation,
-    // the events witnessing it (a cycle in the axiom's term).
-    ExecutionAnalysis A(X);
-    CheckReport Report = M->checkAll(A);
-    std::printf("  %-8s %s\n", M->name(),
-                Report.Consistent ? "allowed" : "forbidden");
-    for (const AxiomVerdict &V : Report.Verdicts) {
-      if (V.Holds)
-        continue;
-      std::printf("           violates %s (%s); witness events:",
-                  V.Ax->Name.data(), axiomKindName(V.Ax->Kind));
-      for (EventId E : V.Witness)
-        std::printf(" %u", E);
-      std::printf("\n");
-    }
-  }
-
-  // Derive the litmus test that checks for this execution on real
-  // hardware (§2.2/§3.2), specialised for each architecture.
-  Program P = programFromExecution(MpTxn, "MP+txn").Prog;
-  std::printf("\nGenerated litmus test (generic):\n%s",
-              printGeneric(P).c_str());
-  std::printf("\nAs Power assembly:\n%s", printAsm(P, Arch::Power).c_str());
-
-  // Finally: synthesise the 4-event x86 Forbid suite — the tests that
-  // distinguish the TM extension (§4.2). The baseline is just another
-  // spec string; `--jobs N` runs the work-stealing prefix pool on N
-  // threads and the merged, hash-sorted suite is identical for any N.
-  std::unique_ptr<MemoryModel> X86 = ModelRegistry::parse("x86");
-  std::unique_ptr<MemoryModel> Baseline =
-      ModelRegistry::parse("x86/+baseline");
-  ForbidSuite S = synthesizeForbid(*X86, *Baseline,
-                                   Vocabulary::forArch(Arch::X86),
-                                   /*NumEvents=*/4, /*BudgetSeconds=*/60.0,
-                                   Jobs);
-  std::printf("\nx86 Forbid suite at |E| = 4 (%u job%s): %zu tests in "
-              "%.2fs (%llu placements checked)\n",
-              Jobs, Jobs == 1 ? "" : "s", S.Tests.size(),
-              S.SynthesisSeconds,
-              static_cast<unsigned long long>(S.PlacementsVisited));
-  for (unsigned W = 0; W < S.Workers.size(); ++W) {
-    const WorkerLoad &L = S.Workers[W];
-    std::printf("  worker %u: %.3fs busy, %llu tasks (%llu split, "
-                "%llu stolen), %llu bases\n",
-                W, L.BusySeconds, static_cast<unsigned long long>(L.Tasks),
-                static_cast<unsigned long long>(L.Splits),
-                static_cast<unsigned long long>(L.Steals),
-                static_cast<unsigned long long>(L.BasesVisited));
-  }
+  // The response serialises to canonical JSON — the wire form CI archives
+  // per commit (litmus_tool --corpus --json).
+  std::printf("\nAs JSON:\n%s\n", toJson(Resp).c_str());
   return 0;
 }

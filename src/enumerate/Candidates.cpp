@@ -214,8 +214,9 @@ Outcome outcomeOf(const Program &P, const Shape &S) {
 
 /// Enumerate rf choices (per read: a same-location write or the initial
 /// value), then co orders, invoking \p Sink on every complete candidate.
-void enumerateRfCo(const Program &P, Shape &S,
-                   const std::function<void(const Candidate &)> &Sink) {
+/// Stops — and returns false — as soon as \p Sink returns false.
+bool enumerateRfCo(const Program &P, Shape &S,
+                   const std::function<bool(const Candidate &)> &Sink) {
   Execution &X = S.X;
   std::vector<EventId> Reads;
   for (EventId R : X.reads())
@@ -227,19 +228,17 @@ void enumerateRfCo(const Program &P, Shape &S,
   for (EventId W : X.writes())
     WritersOf[X.event(W).Loc].push_back(W);
 
-  std::function<void(unsigned)> ChooseCo = [&](unsigned L) {
+  std::function<bool(unsigned)> ChooseCo = [&](unsigned L) {
     if (L == NumLocs) {
       Candidate C{X, outcomeOf(P, S)};
-      Sink(C);
-      return;
+      return Sink(C);
     }
     std::vector<EventId> &Ws = WritersOf[L];
-    if (Ws.size() <= 1) {
-      ChooseCo(L + 1);
-      return;
-    }
+    if (Ws.size() <= 1)
+      return ChooseCo(L + 1);
     std::vector<EventId> Perm = Ws;
     std::sort(Perm.begin(), Perm.end());
+    bool Go = true;
     do {
       for (unsigned I = 0; I < Perm.size(); ++I)
         for (unsigned J = 0; J < Perm.size(); ++J)
@@ -247,39 +246,41 @@ void enumerateRfCo(const Program &P, Shape &S,
             X.Co.insert(Perm[I], Perm[J]);
           else if (I != J)
             X.Co.erase(Perm[I], Perm[J]);
-      ChooseCo(L + 1);
-    } while (std::next_permutation(Perm.begin(), Perm.end()));
+      Go = ChooseCo(L + 1);
+    } while (Go && std::next_permutation(Perm.begin(), Perm.end()));
     // Restore a clean slate for this location.
     for (EventId A : Ws)
       for (EventId B : Ws)
         if (A != B)
           X.Co.erase(A, B);
+    return Go;
   };
 
-  std::function<void(unsigned)> ChooseRf = [&](unsigned RI) {
-    if (RI == Reads.size()) {
-      ChooseCo(0);
-      return;
-    }
+  std::function<bool(unsigned)> ChooseRf = [&](unsigned RI) {
+    if (RI == Reads.size())
+      return ChooseCo(0);
     EventId R = Reads[RI];
     LocId L = X.event(R).Loc;
     // Initial value: no incoming rf.
-    ChooseRf(RI + 1);
+    if (!ChooseRf(RI + 1))
+      return false;
     for (EventId W : WritersOf[L]) {
       X.Rf.insert(W, R);
-      ChooseRf(RI + 1);
+      bool Go = ChooseRf(RI + 1);
       X.Rf.erase(W, R);
+      if (!Go)
+        return false;
     }
+    return true;
   };
 
-  ChooseRf(0);
+  return ChooseRf(0);
 }
 
 } // namespace
 
-std::vector<Candidate> tmw::enumerateCandidates(const Program &P) {
-  std::vector<Candidate> Out;
-
+bool tmw::forEachCandidate(
+    const Program &P, const std::function<bool(const Candidate &)> &Sink) {
   unsigned NumTx = 0;
   for (const auto &T : P.Threads)
     for (const Instruction &I : T)
@@ -293,28 +294,47 @@ std::vector<Candidate> tmw::enumerateCandidates(const Program &P) {
     Shape S;
     if (!buildShape(P, Succeed, S))
       continue;
-    enumerateRfCo(P, S, [&Out](const Candidate &C) {
-      if (C.X.checkWellFormed() == nullptr)
-        Out.push_back(C);
+    bool Go = enumerateRfCo(P, S, [&Sink](const Candidate &C) {
+      if (C.X.checkWellFormed() != nullptr)
+        return true; // malformed: skip, keep enumerating
+      return Sink(C);
     });
+    if (!Go)
+      return false;
   }
+  return true;
+}
+
+std::vector<Candidate> tmw::enumerateCandidates(const Program &P) {
+  std::vector<Candidate> Out;
+  forEachCandidate(P, [&Out](const Candidate &C) {
+    Out.push_back(C);
+    return true;
+  });
   return Out;
 }
 
 std::vector<Outcome> tmw::allowedOutcomes(const Program &P,
                                           const MemoryModel &M) {
   std::vector<Outcome> Out;
-  for (const Candidate &C : enumerateCandidates(P))
+  forEachCandidate(P, [&](const Candidate &C) {
     if (M.consistent(C.X))
       Out.push_back(C.O);
+    return true;
+  });
   std::sort(Out.begin(), Out.end());
   Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
   return Out;
 }
 
 bool tmw::postconditionReachable(const Program &P, const MemoryModel &M) {
-  for (const Candidate &C : enumerateCandidates(P))
-    if (C.O.satisfies(P) && M.consistent(C.X))
-      return true;
-  return false;
+  bool Reachable = false;
+  forEachCandidate(P, [&](const Candidate &C) {
+    if (C.O.satisfies(P) && M.consistent(C.X)) {
+      Reachable = true;
+      return false; // one witness suffices
+    }
+    return true;
+  });
+  return Reachable;
 }

@@ -21,6 +21,7 @@
 #include "litmus/Program.h"
 #include "models/MemoryModel.h"
 
+#include <functional>
 #include <vector>
 
 namespace tmw {
@@ -31,7 +32,19 @@ struct Candidate {
   Outcome O;
 };
 
-/// All well-formed candidate executions of \p P.
+/// Stream every well-formed candidate execution of \p P into \p Sink, in
+/// a deterministic order (transaction success masks, then rf choices,
+/// then co permutations). The candidate is only valid for the duration of
+/// the call; copy it to keep it. \p Sink returns false to stop the
+/// enumeration early (e.g. a candidate cap); the function then returns
+/// false too. This is the single enumeration primitive: a consumer that
+/// checks one program against many models should enumerate once through
+/// here and fan each candidate out to all models (see query/QueryEngine),
+/// instead of re-enumerating per model.
+bool forEachCandidate(const Program &P,
+                      const std::function<bool(const Candidate &)> &Sink);
+
+/// All well-formed candidate executions of \p P, materialised.
 std::vector<Candidate> enumerateCandidates(const Program &P);
 
 /// The outcomes of \p P permitted by \p M: outcomes of the consistent

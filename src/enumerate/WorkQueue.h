@@ -1,73 +1,165 @@
-//===- WorkQueue.h - Work-stealing pool over enumeration prefixes -*- C++ -*-==//
+//===- WorkQueue.h - Work-stealing task pool --------------------*- C++ -*-==//
 ///
 /// \file
-/// A work-stealing task pool whose units are *canonical-DFS prefixes* of
-/// the base-execution search (`BasePrefix`): a complete skeleton (the
-/// non-increasing thread-size vector, i.e. every decision up to and
-/// including the last skeleton choice) plus the first K event-labelling
-/// decisions in thread-major event order. The prefixes held by the pool
-/// partition the unexplored base space exactly at every instant: a task is
-/// either *split* — replaced by one child per admissible label of event K,
-/// which `ExecutionEnumerator::expandPrefix` derives from the same choice
-/// generator the sequential DFS uses — or *run* to completion via
-/// `ExecutionEnumerator::forEachBasePrefixed`. Splitting is driven by the
-/// consumer (typically until `estimateCost` falls under a target), so K
-/// adapts to the local branching structure instead of being fixed.
+/// A generic work-stealing task pool parameterised over the task type.
+/// Two instantiations drive the repo's parallel layers:
+///
+///  * `WorkQueue<BasePrefix>` — the synthesis search (synth/Conformance):
+///    tasks are *canonical-DFS prefixes* of the base-execution space
+///    (a complete skeleton plus the first K event-labelling decisions).
+///    The prefixes held by the pool partition the unexplored base space
+///    exactly at every instant: a task is either *split* — replaced by one
+///    child per admissible label of event K, which
+///    `ExecutionEnumerator::expandPrefix` derives from the same choice
+///    generator the sequential DFS uses — or *run* to completion via
+///    `ExecutionEnumerator::forEachBasePrefixed`. Splitting is driven by
+///    the consumer (typically until `estimateCost` falls under a target),
+///    so K adapts to the local branching structure.
+///
+///  * `WorkQueue<size_t>` — the batch query engine (query/QueryEngine):
+///    tasks are request indices of a litmus batch; requests are monolithic
+///    (never split), so the pool degenerates to a balanced distributor
+///    with stealing.
 ///
 /// Each worker owns a deque: locally produced children are pushed and
 /// popped LIFO (depth-first locality, bounded memory), and an idle worker
-/// steals the *oldest* — shallowest, hence biggest — unexpanded prefix
-/// from the fullest victim deque. Operations are guarded by one pool
-/// mutex; tasks are coarse (thousands of label completions), so the lock
-/// is not contended. Termination is exact: `pop` blocks until a task is
-/// available and only returns false when every deque is empty and no
-/// popped task is still being processed (`finish` not yet called), or the
-/// pool was cancelled (e.g. on budget exhaustion).
+/// steals the *oldest* — shallowest, hence biggest — unexpanded task from
+/// the fullest victim deque. Operations are guarded by one pool mutex;
+/// tasks are coarse, so the lock is not contended. Termination is exact:
+/// `pop` blocks until a task is available and only returns false when
+/// every deque is empty and no popped task is still being processed
+/// (`finish` not yet called), or the pool was cancelled (e.g. on budget
+/// exhaustion).
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_ENUMERATE_WORKQUEUE_H
 #define TMW_ENUMERATE_WORKQUEUE_H
 
-#include "enumerate/Prefix.h"
-
+#include <cassert>
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <mutex>
 #include <vector>
 
 namespace tmw {
 
-/// Work-stealing pool of `BasePrefix` tasks. Thread-safe; one instance per
-/// parallel search.
-class WorkQueue {
+/// Per-worker load telemetry for one pool run (one entry per worker or
+/// static shard). Consumers surface it through `ForbidSuite::Workers` and
+/// `BatchTelemetry::Workers`.
+struct WorkerLoad {
+  /// Wall-clock seconds this worker spent processing tasks.
+  double BusySeconds = 0;
+  /// Tasks processed / tasks split into children / tasks obtained by
+  /// stealing. Static sharding runs one task per shard and never splits
+  /// or steals; query batches never split.
+  uint64_t Tasks = 0, Splits = 0, Steals = 0;
+  /// Work units this worker visited: base executions for the synthesis
+  /// search, candidate executions for the query engine.
+  uint64_t BasesVisited = 0;
+};
+
+/// Work-stealing pool of \p Task values. Thread-safe; one instance per
+/// parallel search or batch.
+template <class Task> class WorkQueue {
 public:
-  explicit WorkQueue(unsigned NumWorkers);
+  explicit WorkQueue(unsigned NumWorkers) {
+    assert(NumWorkers > 0 && "pool needs at least one worker");
+    Deques.resize(NumWorkers);
+  }
 
   /// Deal a root task round-robin across the worker deques (front-insert,
   /// so each owner's LIFO pop walks its seeds in the order they were
   /// dealt). Call before the workers start (not thread-safe against
   /// pop/push).
-  void seed(BasePrefix P);
+  void seed(Task P) {
+    // Front-insert so each deque's *back* is its earliest seed: the
+    // owner's LIFO pop then walks its share in seeding order (for the
+    // synthesis search: thread-rich skeletons first — the front-loaded
+    // discovery order of Fig. 7).
+    Deques[SeedCursor].push_front(std::move(P));
+    SeedCursor = (SeedCursor + 1) % Deques.size();
+  }
 
   /// Get the next task for \p Worker: own deque LIFO first, otherwise
-  /// steal the oldest prefix from the fullest other deque (\p WasSteal
+  /// steal the oldest task from the fullest other deque (\p WasSteal
   /// reports which). Blocks while the pool is momentarily empty but some
   /// worker still holds a task it may split. Returns false when the space
   /// is exhausted or `cancel()` was called.
-  bool pop(unsigned Worker, BasePrefix &Out, bool &WasSteal);
+  bool pop(unsigned Worker, Task &Out, bool &WasSteal) {
+    std::unique_lock<std::mutex> Lock(Mu);
+    for (;;) {
+      if (Cancelled)
+        return false;
+      // Own deque: newest first — descend depth-first, keeping the deque
+      // shallow and leaving the big old tasks for thieves.
+      std::deque<Task> &Own = Deques[Worker];
+      if (!Own.empty()) {
+        Out = std::move(Own.back());
+        Own.pop_back();
+        ++InFlight;
+        WasSteal = false;
+        return true;
+      }
+      // Steal: oldest task of the fullest victim (shallowest tasks cover
+      // the most work, so one steal buys the longest independence).
+      unsigned Victim = static_cast<unsigned>(Deques.size());
+      size_t Best = 0;
+      for (unsigned D = 0; D < Deques.size(); ++D)
+        if (Deques[D].size() > Best) {
+          Best = Deques[D].size();
+          Victim = D;
+        }
+      if (Victim < Deques.size()) {
+        Out = std::move(Deques[Victim].front());
+        Deques[Victim].pop_front();
+        ++InFlight;
+        WasSteal = true;
+        return true;
+      }
+      // Globally empty: done only once no in-flight task can still split.
+      if (InFlight == 0) {
+        Cv.notify_all();
+        return false;
+      }
+      Cv.wait(Lock);
+    }
+  }
 
   /// Push a child task produced by splitting \p Worker's current task.
-  void push(unsigned Worker, BasePrefix P);
+  void push(unsigned Worker, Task P) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Deques[Worker].push_back(std::move(P));
+    }
+    Cv.notify_one();
+  }
 
   /// Mark \p Worker's current task fully processed (run or split). Every
   /// successful `pop` must be paired with exactly one `finish`.
-  void finish(unsigned Worker);
+  void finish(unsigned Worker) {
+    (void)Worker;
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(InFlight > 0 && "finish without a matching pop");
+    if (--InFlight == 0)
+      Cv.notify_all(); // possible termination: wake everyone to re-check
+  }
 
   /// Abort: wake every blocked worker and make all pops return false.
   /// Tasks still queued are dropped.
-  void cancel();
-  bool cancelled() const;
+  void cancel() {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Cancelled = true;
+    }
+    Cv.notify_all();
+  }
+
+  bool cancelled() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    return Cancelled;
+  }
 
   unsigned numWorkers() const {
     return static_cast<unsigned>(Deques.size());
@@ -76,7 +168,7 @@ public:
 private:
   mutable std::mutex Mu;
   std::condition_variable Cv;
-  std::vector<std::deque<BasePrefix>> Deques;
+  std::vector<std::deque<Task>> Deques;
   /// Tasks popped but not yet finished; termination needs it zero.
   unsigned InFlight = 0;
   unsigned SeedCursor = 0;

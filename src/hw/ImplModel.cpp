@@ -2,6 +2,8 @@
 
 #include "hw/ImplModel.h"
 
+#include "models/ModelRegistry.h"
+
 using namespace tmw;
 
 namespace {
@@ -13,8 +15,8 @@ Relation noLoadBuffering(const ExecutionAnalysis &A, AxiomMask) {
 } // namespace
 
 ImplModel::ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
-                     const char *Name)
-    : Spec(std::move(Spec)), Label(Name) {
+                     const char *Name, const char *SpecToken)
+    : Spec(std::move(Spec)), Label(Name), Token(SpecToken) {
   AxiomList SpecAxioms = this->Spec->axioms();
   Axioms.assign(SpecAxioms.begin(), SpecAxioms.end());
   Axioms.push_back(
@@ -28,17 +30,34 @@ ImplModel::ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
 
 ImplModel ImplModel::power8() {
   return ImplModel(std::make_unique<PowerModel>(), /*NoLoadBuffering=*/true,
-                   "POWER8 (simulated)");
+                   "POWER8 (simulated)", "power8");
 }
 
 ImplModel ImplModel::armv8Silicon() {
   return ImplModel(std::make_unique<Armv8Model>(), /*NoLoadBuffering=*/true,
-                   "ARMv8+TM silicon (simulated)");
+                   "ARMv8+TM silicon (simulated)", "armv8-silicon");
 }
 
 ImplModel ImplModel::armv8BuggyRtl() {
   Armv8Model::Config C;
   C.TxnOrder = false;
   return ImplModel(std::make_unique<Armv8Model>(C),
-                   /*NoLoadBuffering=*/true, "ARMv8 RTL prototype (buggy)");
+                   /*NoLoadBuffering=*/true, "ARMv8 RTL prototype (buggy)",
+                   "armv8-rtl");
+}
+
+ImplModel ImplModel::implFor(Arch A) {
+  // Interned "<arch>-impl" tokens and labels, one literal per arch, so
+  // name()/specToken() stay valid for the program's lifetime like every
+  // other model name.
+  static constexpr const char *Tokens[] = {"sc-impl",    "tsc-impl",
+                                           "x86-impl",   "power-impl",
+                                           "armv8-impl", "cpp-impl"};
+  static constexpr const char *Labels[] = {
+      "sc-impl (simulated)",    "tsc-impl (simulated)",
+      "x86-impl (simulated)",   "power-impl (simulated)",
+      "armv8-impl (simulated)", "cpp-impl (simulated)"};
+  unsigned I = static_cast<unsigned>(A);
+  return ImplModel(ModelRegistry::make(A), /*NoLoadBuffering=*/true,
+                   Labels[I], Tokens[I]);
 }

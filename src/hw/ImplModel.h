@@ -35,8 +35,11 @@ class ImplModel : public MemoryModel {
 public:
   /// Wrap \p Spec; when \p NoLoadBuffering, additionally require
   /// acyclic(po u rf) (LB shapes never occur, as on real Power/ARM parts).
+  /// \p SpecToken, when given, is the registry spec name this wrapper
+  /// answers to (`ModelRegistry` resolves and round-trips it); the named
+  /// presets below set it, hand-built wrappers may leave it null.
   ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
-            const char *Name);
+            const char *Name, const char *SpecToken = nullptr);
 
   const char *name() const override { return Label; }
   Arch arch() const override { return Spec->arch(); }
@@ -44,19 +47,29 @@ public:
   /// hence mask bits — are preserved by appending).
   AxiomList axioms() const override { return Axioms; }
 
+  /// Registry spec token ("power8", "x86-impl", ...), or nullptr for a
+  /// hand-built wrapper with no spec syntax.
+  const char *specToken() const { return Token; }
+
   /// A conservative POWER8-like machine: the Power+TM model with no load
-  /// buffering.
+  /// buffering. Registry spec: "power8".
   static ImplModel power8();
-  /// A conservative ARMv8 part with the proposed TM extension.
+  /// A conservative ARMv8 part with the proposed TM extension. Registry
+  /// spec: "armv8-silicon".
   static ImplModel armv8Silicon();
   /// The §6.2 buggy RTL prototype: TxnOrder dropped, so lifted ob cycles
-  /// between transactions slip through.
+  /// between transactions slip through. Registry spec: "armv8-rtl".
   static ImplModel armv8BuggyRtl();
+  /// The generic implementation-conservative substitute for \p A: the
+  /// default architecture model with no load buffering. Registry spec:
+  /// "<arch>-impl" (so `power-impl` is `power8` minus the branding).
+  static ImplModel implFor(Arch A);
 
 private:
   std::unique_ptr<MemoryModel> Spec;
   std::vector<Axiom> Axioms;
   const char *Label;
+  const char *Token = nullptr;
 };
 
 } // namespace tmw

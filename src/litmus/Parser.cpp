@@ -117,6 +117,20 @@ bool parseAttrs(const std::vector<std::string> &Toks, size_t From,
 
 } // namespace
 
+std::string ParseResult::diagnostic(std::string_view File) const {
+  if (Error.empty())
+    return {};
+  std::string Out;
+  if (!File.empty())
+    Out.append(File).append(":");
+  else
+    Out += "line ";
+  Out += std::to_string(ErrorLine);
+  Out += ": ";
+  Out += Error;
+  return Out;
+}
+
 ParseResult tmw::parseProgram(const std::string &Text) {
   ParseResult Res;
   Program &P = Res.Prog;
@@ -126,7 +140,8 @@ ParseResult tmw::parseProgram(const std::string &Text) {
   std::istringstream In(Text);
   std::string Line;
   auto Fail = [&](const std::string &Msg) {
-    Res.Error = "line " + std::to_string(LineNo) + ": " + Msg;
+    Res.Error = Msg;
+    Res.ErrorLine = LineNo;
     return Res;
   };
 

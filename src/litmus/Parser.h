@@ -28,16 +28,26 @@
 #include "litmus/Program.h"
 
 #include <string>
+#include <string_view>
 
 namespace tmw {
 
 /// Result of parsing: the program, or a diagnostic.
 struct ParseResult {
   Program Prog;
-  /// Empty when parsing succeeded.
+  /// Empty when parsing succeeded; otherwise the bare message (no
+  /// position prefix — see `ErrorLine` / `diagnostic()`).
   std::string Error;
+  /// 1-based line of the error, 0 when parsing succeeded (or the input
+  /// ended unexpectedly).
+  unsigned ErrorLine = 0;
 
   explicit operator bool() const { return Error.empty(); }
+
+  /// One-line compiler-style diagnostic: `file:line: message` (or
+  /// `line N: message` when \p File is empty) — what `litmus_tool` prints
+  /// before exiting nonzero.
+  std::string diagnostic(std::string_view File = {}) const;
 };
 
 /// Parse \p Text in the DSL of `printDsl`.

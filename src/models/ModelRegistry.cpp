@@ -8,6 +8,12 @@
 #include "models/ScModel.h"
 #include "models/X86Model.h"
 
+// The hardware-substitute wrappers live one layer up (hw/); everything is
+// one static library and the include is acyclic, so the registry can
+// resolve their spec tokens directly rather than through a fragile
+// static-initialisation hook.
+#include "hw/ImplModel.h"
+
 #include <cctype>
 
 using namespace tmw;
@@ -16,6 +22,9 @@ namespace {
 
 constexpr Arch kAllArchs[] = {Arch::SC,    Arch::TSC,   Arch::X86,
                               Arch::Power, Arch::Armv8, Arch::Cpp};
+
+constexpr const char *kWrapperSpecs[] = {"power8", "armv8-silicon",
+                                         "armv8-rtl"};
 
 bool equalsIgnoreCase(std::string_view A, std::string_view B) {
   if (A.size() != B.size())
@@ -46,9 +55,33 @@ std::string axiomNamesOf(const MemoryModel &M) {
   return Names;
 }
 
+/// Resolve a wrapper base token (named preset or "<arch>-impl"), or
+/// nullptr when \p Token is not a wrapper spec.
+std::unique_ptr<MemoryModel> makeWrapper(std::string_view Token) {
+  if (equalsIgnoreCase(Token, "power8"))
+    return std::make_unique<ImplModel>(ImplModel::power8());
+  if (equalsIgnoreCase(Token, "armv8-silicon") ||
+      equalsIgnoreCase(Token, "arm-silicon"))
+    return std::make_unique<ImplModel>(ImplModel::armv8Silicon());
+  if (equalsIgnoreCase(Token, "armv8-rtl") ||
+      equalsIgnoreCase(Token, "armv8-buggy-rtl"))
+    return std::make_unique<ImplModel>(ImplModel::armv8BuggyRtl());
+  constexpr std::string_view Suffix = "-impl";
+  if (Token.size() > Suffix.size() &&
+      equalsIgnoreCase(Token.substr(Token.size() - Suffix.size()), Suffix))
+    if (std::optional<Arch> A = ModelRegistry::parseArch(
+            Token.substr(0, Token.size() - Suffix.size())))
+      return std::make_unique<ImplModel>(ImplModel::implFor(*A));
+  return nullptr;
+}
+
 } // namespace
 
 std::span<const Arch> ModelRegistry::allArchs() { return kAllArchs; }
+
+std::span<const char *const> ModelRegistry::wrapperSpecs() {
+  return kWrapperSpecs;
+}
 
 const char *ModelRegistry::archSpecName(Arch A) {
   switch (A) {
@@ -106,23 +139,30 @@ std::unique_ptr<MemoryModel> ModelRegistry::parse(std::string_view Spec,
     return nullptr;
   };
 
-  std::string_view ArchToken = Spec.substr(0, Spec.find('/'));
-  std::optional<Arch> A = parseArch(ArchToken);
-  if (!A) {
-    std::string Archs;
+  std::string_view BaseToken = Spec.substr(0, Spec.find('/'));
+  std::unique_ptr<MemoryModel> M;
+  if (std::optional<Arch> A = parseArch(BaseToken))
+    M = make(*A);
+  else
+    M = makeWrapper(BaseToken);
+  if (!M) {
+    std::string Bases;
     for (Arch Known : kAllArchs) {
-      if (!Archs.empty())
-        Archs += ", ";
-      Archs += archSpecName(Known);
+      if (!Bases.empty())
+        Bases += ", ";
+      Bases += archSpecName(Known);
     }
-    return Fail("unknown architecture '" + std::string(ArchToken) +
-                "' (expected one of: " + Archs + ")");
+    for (const char *W : kWrapperSpecs) {
+      Bases += ", ";
+      Bases += W;
+    }
+    return Fail("unknown model '" + std::string(BaseToken) +
+                "' (expected one of: " + Bases + ", or <arch>-impl)");
   }
-  std::unique_ptr<MemoryModel> M = make(*A);
 
   std::string_view Rest =
-      ArchToken.size() == Spec.size() ? std::string_view()
-                                      : Spec.substr(ArchToken.size() + 1);
+      BaseToken.size() == Spec.size() ? std::string_view()
+                                      : Spec.substr(BaseToken.size() + 1);
   while (!Rest.empty()) {
     std::string_view Mod = Rest.substr(0, Rest.find('/'));
     Rest = Mod.size() == Rest.size() ? std::string_view()
@@ -146,7 +186,8 @@ std::unique_ptr<MemoryModel> ModelRegistry::parse(std::string_view Spec,
     int I = findAxiomSpec(M->axioms(), Name);
     if (I < 0)
       return Fail("unknown axiom '" + std::string(Name) + "' for " +
-                  archSpecName(*A) + " (axioms: " + axiomNamesOf(*M) + ")");
+                  std::string(BaseToken) +
+                  " (axioms: " + axiomNamesOf(*M) + ")");
     AxiomMask Mask = M->axiomMask();
     Mask.set(static_cast<unsigned>(I), Enable);
     M->setAxiomMask(Mask);
@@ -157,6 +198,27 @@ std::unique_ptr<MemoryModel> ModelRegistry::parse(std::string_view Spec,
 }
 
 std::string ModelRegistry::print(const MemoryModel &M) {
+  if (const auto *Impl = dynamic_cast<const ImplModel *>(&M)) {
+    // Wrapper rendering: the wrapper's own spec token, then the state of
+    // every axiom that differs from that token's default configuration
+    // (so "armv8-rtl" stays "armv8-rtl", not a pile of ablations).
+    const char *Token = Impl->specToken();
+    std::string Spec =
+        Token ? Token
+              : std::string(archSpecName(M.arch())) + "-impl";
+    std::unique_ptr<MemoryModel> Default = parse(Spec);
+    AxiomList Axioms = M.axioms();
+    unsigned N = static_cast<unsigned>(Axioms.size());
+    AxiomMask Mask = M.axiomMask().normalized(N);
+    AxiomMask Base = Default->axiomMask().normalized(N);
+    for (unsigned I = 0; I < N; ++I)
+      if (Mask.test(I) != Base.test(I)) {
+        Spec += Mask.test(I) ? "/+" : "/-";
+        Spec += Axioms[I].Name;
+      }
+    return Spec;
+  }
+
   std::string Spec = archSpecName(M.arch());
   AxiomList Axioms = M.axioms();
   unsigned N = static_cast<unsigned>(Axioms.size());

@@ -7,18 +7,30 @@
 ///
 /// Spec grammar (case-insensitive arch and axiom names):
 ///
-///   spec  := arch ( "/" mod )*
+///   spec  := base ( "/" mod )*
+///   base  := arch | wrapper
 ///   arch  := "sc" | "tsc" | "x86" | "power"
 ///          | "armv8" | "arm" | "aarch64" | "cpp" | "c++"
+///   wrapper := "power8"          -- POWER8 substitute (= power + NoLB)
+///            | "armv8-silicon"   -- conservative ARMv8+TM part
+///            | "armv8-rtl"       -- §6.2 buggy RTL (TxnOrder dropped)
+///            | arch "-impl"      -- generic impl-conservative wrapper
+///                                   (the arch model + NoLoadBuffering)
 ///   mod   := "+baseline"        -- disable every TM axiom
 ///          | "+all"             -- enable every axiom
 ///          | "+" axiom-name     -- enable one axiom
 ///          | "-" axiom-name     -- disable one axiom
 ///
-/// Modifiers apply left to right, starting from the all-enabled default,
-/// so `"power/-TxnOrder"` is Power with transaction ordering ablated and
-/// `"cpp/+baseline"` is the non-transactional C++ baseline. `print()`
-/// renders a configured model back into a spec that `parse()` round-trips.
+/// Modifiers apply left to right, starting from the base's default mask,
+/// so `"power/-TxnOrder"` is Power with transaction ordering ablated,
+/// `"cpp/+baseline"` is the non-transactional C++ baseline, and
+/// `"power8/-NoLoadBuffering(impl)"` un-does the POWER8 conservatism.
+/// Wrapper specs resolve to `hw/ImplModel` instances — the axiomatic
+/// hardware substitutes — so benches and the query engine can address
+/// implementation-conservative models from strings. `print()` renders a
+/// configured model back into a spec whose `parse()` reproduces the arch
+/// and mask (for a preset with axioms ablated by default, such as
+/// `armv8-rtl`, the rendering spells the ablations out explicitly).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -34,12 +46,16 @@
 namespace tmw {
 
 /// Registry over the six architecture models (SC, TSC, x86, Power, ARMv8,
-/// C++). Wrapper models like `ImplModel` are out of scope: they are built
-/// in code, not from specs.
+/// C++) plus the `ImplModel` hardware-substitute wrappers (see the
+/// `wrapper` production above).
 class ModelRegistry {
 public:
   /// Every registered architecture, in spec-name order.
   static std::span<const Arch> allArchs();
+
+  /// The named hardware-substitute presets ("power8", "armv8-silicon",
+  /// "armv8-rtl"); the open-ended `<arch>-impl` family is not listed.
+  static std::span<const char *const> wrapperSpecs();
 
   /// The canonical (lowercase) spec name of \p A, e.g. "armv8".
   static const char *archSpecName(Arch A);
@@ -57,11 +73,13 @@ public:
   static std::unique_ptr<MemoryModel> parse(std::string_view Spec,
                                             std::string *Error = nullptr);
 
-  /// Canonical spec of \p M: the arch name, then "/+baseline" when the
-  /// mask is exactly the baseline, otherwise one "/-name" per disabled
-  /// axiom. `parse(print(M))` reproduces M's arch and mask. Only
-  /// meaningful for registry-made models (an `ImplModel`'s extra axiom has
-  /// no spec syntax).
+  /// Canonical spec of \p M. For plain models: the arch name, then
+  /// "/+baseline" when the mask is exactly the baseline, otherwise one
+  /// "/-name" per disabled axiom. For `ImplModel` wrappers: the wrapper's
+  /// spec token (falling back to "<arch>-impl" for hand-built wrappers)
+  /// followed by one "/+name" or "/-name" per axiom whose state differs
+  /// from that token's default. In both cases `parse(print(M))`
+  /// reproduces M's arch, wrapper-ness, and mask.
   static std::string print(const MemoryModel &M);
 };
 

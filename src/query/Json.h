@@ -1,0 +1,75 @@
+//===- Json.h - Minimal JSON writing and parsing ----------------*- C++ -*-==//
+///
+/// \file
+/// The small JSON layer behind the batch query API (query/QueryIO) and
+/// the suite exports (synth/SuiteIO): an escape/append writer for the
+/// serialisation side, and an order-preserving DOM (`JsonValue`) for the
+/// parsing side. No external dependency — the repo's JSON needs are a few
+/// fixed schemata, so ~200 lines of strict-enough JSON beat a library the
+/// container may not have.
+///
+/// Writers emit fields in a *fixed order* and integers without exponent
+/// notation, so a serialisation is byte-for-byte reproducible — the
+/// property the batch determinism guarantee (same JSON for every --jobs
+/// value) and the golden tests lean on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_QUERY_JSON_H
+#define TMW_QUERY_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tmw {
+
+/// Append \p S to \p Out as a JSON string literal (quotes included),
+/// escaping quotes, backslashes, and control characters.
+void jsonAppendString(std::string &Out, std::string_view S);
+
+/// Render \p S as a JSON string literal.
+std::string jsonQuote(std::string_view S);
+
+/// A parsed JSON value. Object members preserve their source order.
+struct JsonValue {
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Member lookup (objects only); nullptr when absent.
+  const JsonValue *get(std::string_view Key) const;
+
+  /// Typed member accessors with defaults — the tolerant-read style the
+  /// IO layer uses (missing field = default, wrong type = default).
+  bool getBool(std::string_view Key, bool Default = false) const;
+  double getNumber(std::string_view Key, double Default = 0) const;
+  uint64_t getUint(std::string_view Key, uint64_t Default = 0) const;
+  std::string_view getString(std::string_view Key,
+                             std::string_view Default = {}) const;
+};
+
+/// Parse \p Text as one JSON value (trailing whitespace allowed, trailing
+/// garbage rejected). On failure returns nullopt and, when \p Error is
+/// non-null, stores a message with the byte offset.
+std::optional<JsonValue> parseJson(std::string_view Text,
+                                   std::string *Error = nullptr);
+
+} // namespace tmw
+
+#endif // TMW_QUERY_JSON_H

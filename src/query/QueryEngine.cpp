@@ -1,0 +1,266 @@
+//===- QueryEngine.cpp - Evaluating batch litmus queries -----------------------==//
+
+#include "query/QueryEngine.h"
+
+#include "enumerate/Candidates.h"
+#include "litmus/Library.h"
+#include "litmus/Parser.h"
+#include "models/ModelRegistry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
+
+using namespace tmw;
+
+namespace {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+double secondsSince(TimePoint Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// The standard corpus, built once per process (immutable after).
+const std::vector<CorpusEntry> &corpus() {
+  static const std::vector<CorpusEntry> C = standardCorpus();
+  return C;
+}
+
+const CorpusEntry *findCorpusEntry(const std::string &Name) {
+  for (const CorpusEntry &E : corpus())
+    if (E.Name == Name)
+      return &E;
+  return nullptr;
+}
+
+/// Evaluate one request using \p Arena as the per-worker analysis arena
+/// (created on first use, retargeted per candidate — the same arena
+/// discipline as the synthesis workers).
+CheckResponse evaluateRequest(const CheckRequest &R,
+                              std::optional<ExecutionAnalysis> &Arena) {
+  TimePoint T0 = std::chrono::steady_clock::now();
+  CheckResponse Resp;
+  Resp.Name = R.Name;
+  auto Finish = [&]() -> CheckResponse & {
+    Resp.Seconds = secondsSince(T0);
+    return Resp;
+  };
+
+  // Resolve every model spec up front: a bad spec fails the request
+  // before any enumeration work.
+  std::vector<std::string> Specs = R.ModelSpecs;
+  if (Specs.empty())
+    for (Arch A : ModelRegistry::allArchs())
+      Specs.push_back(ModelRegistry::archSpecName(A));
+  std::vector<std::unique_ptr<MemoryModel>> Models;
+  Models.reserve(Specs.size());
+  for (const std::string &Spec : Specs) {
+    std::string Error;
+    std::unique_ptr<MemoryModel> M = ModelRegistry::parse(Spec, &Error);
+    if (!M) {
+      Resp.Error = "model spec '" + Spec + "': " + Error;
+      return Finish();
+    }
+    Models.push_back(std::move(M));
+  }
+
+  // Resolve the program: inline DSL source or a corpus entry.
+  Program Parsed;
+  const Program *P = nullptr;
+  if (!R.Source.empty() && !R.Corpus.empty()) {
+    Resp.Error = "request sets both 'source' and 'corpus'";
+    return Finish();
+  }
+  if (!R.Source.empty()) {
+    ParseResult PR = parseProgram(R.Source);
+    if (!PR) {
+      Resp.Error = "parse error: " + PR.Error;
+      Resp.ErrorLine = PR.ErrorLine;
+      return Finish();
+    }
+    Parsed = std::move(PR.Prog);
+    P = &Parsed;
+  } else if (!R.Corpus.empty()) {
+    const CorpusEntry *E = findCorpusEntry(R.Corpus);
+    if (!E) {
+      Resp.Error = "unknown corpus entry '" + R.Corpus + "'";
+      return Finish();
+    }
+    P = &E->Prog;
+  } else {
+    Resp.Error = "empty request: set 'source' or 'corpus'";
+    return Finish();
+  }
+  if (Resp.Name.empty())
+    Resp.Name = P->Name;
+
+  Resp.Verdicts.resize(Models.size());
+  for (size_t M = 0; M < Models.size(); ++M)
+    Resp.Verdicts[M].Spec = ModelRegistry::print(*Models[M]);
+
+  // Enumerate the candidates ONCE; fan each one out to every model over
+  // one shared analysis, so derived relations (fr, com, fences, ...) are
+  // computed once per candidate, not once per (candidate, model).
+  std::vector<Execution> FirstForbidden(Models.size());
+  forEachCandidate(*P, [&](const Candidate &C) {
+    if (R.CandidateCap && Resp.Candidates >= R.CandidateCap) {
+      Resp.Truncated = true;
+      return false;
+    }
+    int64_t Index = static_cast<int64_t>(Resp.Candidates++);
+    if (!Arena)
+      Arena.emplace(C.X);
+    else
+      Arena->reset(C.X);
+    bool Satisfies = C.O.satisfies(*P);
+    for (size_t M = 0; M < Models.size(); ++M) {
+      ModelVerdict &V = Resp.Verdicts[M];
+      if (Models[M]->consistent(*Arena)) {
+        ++V.Consistent;
+        V.Allowed |= Satisfies;
+        if (R.WantOutcomes)
+          V.AllowedOutcomes.push_back(C.O);
+      } else if (V.FirstForbidden < 0) {
+        V.FirstForbidden = Index;
+        if (R.Explain)
+          FirstForbidden[M] = C.X;
+      }
+    }
+    return true;
+  });
+
+  if (R.Explain)
+    for (size_t M = 0; M < Models.size(); ++M) {
+      ModelVerdict &V = Resp.Verdicts[M];
+      if (V.FirstForbidden < 0)
+        continue;
+      // Re-analyse the stored copy (the enumeration's candidate is gone);
+      // checkAll reports every violated axiom plus its witness events.
+      if (!Arena)
+        Arena.emplace(FirstForbidden[M]);
+      else
+        Arena->reset(FirstForbidden[M]);
+      CheckReport Report = Models[M]->checkAll(*Arena);
+      for (const AxiomVerdict &AV : Report.Verdicts) {
+        if (AV.Holds)
+          continue;
+        FailedAxiomInfo Info;
+        Info.Axiom = std::string(AV.Ax->Name);
+        for (EventId E : AV.Witness)
+          Info.Witness.push_back(E);
+        V.FailedAxioms.push_back(std::move(Info));
+      }
+    }
+
+  if (R.WantOutcomes)
+    for (ModelVerdict &V : Resp.Verdicts) {
+      std::sort(V.AllowedOutcomes.begin(), V.AllowedOutcomes.end());
+      V.AllowedOutcomes.erase(
+          std::unique(V.AllowedOutcomes.begin(), V.AllowedOutcomes.end()),
+          V.AllowedOutcomes.end());
+    }
+  return Finish();
+}
+
+} // namespace
+
+CheckResponse QueryEngine::evaluate(const CheckRequest &R) const {
+  std::optional<ExecutionAnalysis> Arena;
+  return evaluateRequest(R, Arena);
+}
+
+BatchTelemetry QueryEngine::run(
+    std::span<const CheckRequest> Requests,
+    const std::function<void(const CheckResponse &)> &OnResult) const {
+  BatchTelemetry T;
+  runAllInto(Requests, OnResult, T);
+  return T;
+}
+
+std::vector<CheckResponse>
+QueryEngine::runAll(std::span<const CheckRequest> Requests,
+                    BatchTelemetry *Telemetry) const {
+  BatchTelemetry T;
+  std::vector<CheckResponse> Out = runAllInto(Requests, nullptr, T);
+  if (Telemetry)
+    *Telemetry = std::move(T);
+  return Out;
+}
+
+std::vector<CheckResponse> QueryEngine::runAllInto(
+    std::span<const CheckRequest> Requests,
+    const std::function<void(const CheckResponse &)> &OnResult,
+    BatchTelemetry &T) const {
+  TimePoint T0 = std::chrono::steady_clock::now();
+  size_t N = Requests.size();
+  T.Programs = N;
+  std::vector<CheckResponse> Results(N);
+  if (N == 0) {
+    T.Seconds = secondsSince(T0);
+    return Results;
+  }
+
+  // One pool task per request; requests are monolithic (never split), so
+  // the pool acts as a balanced distributor with stealing. Idle workers
+  // beyond the request count would only contend, so clamp.
+  unsigned Jobs = std::max(1u, Opts.Jobs);
+  Jobs = static_cast<unsigned>(
+      std::min<size_t>(Jobs, N));
+  WorkQueue<size_t> Q(Jobs);
+  for (size_t I = 0; I < N; ++I)
+    Q.seed(I);
+
+  std::vector<WorkerLoad> Loads(Jobs);
+  std::mutex EmitMu;
+  size_t NextToEmit = 0;
+  std::vector<char> Done(N, 0);
+
+  auto Worker = [&](unsigned W) {
+    std::optional<ExecutionAnalysis> Arena;
+    size_t I = 0;
+    bool Stolen = false;
+    while (Q.pop(W, I, Stolen)) {
+      TimePoint S0 = std::chrono::steady_clock::now();
+      ++Loads[W].Tasks;
+      Loads[W].Steals += Stolen;
+      Results[I] = evaluateRequest(Requests[I], Arena);
+      Loads[W].BasesVisited += Results[I].Candidates;
+      Loads[W].BusySeconds += secondsSince(S0);
+      {
+        // Stream in request order: emit response i only after 0..i-1.
+        std::lock_guard<std::mutex> Lock(EmitMu);
+        Done[I] = 1;
+        while (NextToEmit < N && Done[NextToEmit]) {
+          if (OnResult)
+            OnResult(Results[NextToEmit]);
+          ++NextToEmit;
+        }
+      }
+      Q.finish(W);
+    }
+  };
+
+  if (Jobs == 1) {
+    Worker(0);
+  } else {
+    std::vector<std::thread> Threads;
+    Threads.reserve(Jobs);
+    for (unsigned W = 0; W < Jobs; ++W)
+      Threads.emplace_back(Worker, W);
+    for (std::thread &Th : Threads)
+      Th.join();
+  }
+
+  for (const CheckResponse &R : Results) {
+    T.Candidates += R.Candidates;
+    T.Checks += R.Candidates * R.Verdicts.size();
+  }
+  T.Workers = std::move(Loads);
+  T.Seconds = secondsSince(T0);
+  return Results;
+}

@@ -1,0 +1,75 @@
+//===- QueryEngine.h - Evaluating batch litmus queries ----------*- C++ -*-==//
+///
+/// \file
+/// The evaluator behind the request/response API (query/Query.h). For one
+/// request it runs the whole stack once: resolve every model spec through
+/// the registry, parse the program (or fetch the corpus entry), then
+/// enumerate the program's candidate executions **once** and fan each
+/// candidate out to all requested models through one shared
+/// `ExecutionAnalysis` — so six models cost one enumeration plus six
+/// axiom evaluations over memoized relations, not six enumerations. This
+/// is the enumerate-once/check-many discipline every frontend previously
+/// hand-rolled (or failed to: the old benches re-enumerated per model).
+///
+/// Batches are scheduled on the generic work-stealing pool
+/// (`WorkQueue<size_t>`, one task per request, one analysis arena per
+/// worker) and results are **streamed in request order**: the callback
+/// fires for response i only after responses 0..i-1, whatever order the
+/// workers finished in. Verdicts are deterministic — independent of Jobs
+/// and of scheduling — because each request is evaluated sequentially by
+/// exactly one worker over the fixed candidate enumeration order; only
+/// `Seconds` and the telemetry vary run to run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_QUERY_QUERYENGINE_H
+#define TMW_QUERY_QUERYENGINE_H
+
+#include "query/Query.h"
+
+#include <functional>
+#include <span>
+
+namespace tmw {
+
+/// Batch evaluation options.
+struct BatchOptions {
+  /// Worker threads for `run`/`runAll` (1 = evaluate inline, no threads).
+  unsigned Jobs = 1;
+};
+
+/// Stateless evaluator of `CheckRequest` batches; cheap to construct.
+class QueryEngine {
+public:
+  explicit QueryEngine(BatchOptions Opts = {}) : Opts(Opts) {}
+
+  /// Evaluate one request in the calling thread.
+  CheckResponse evaluate(const CheckRequest &R) const;
+
+  /// Evaluate \p Requests on `Opts.Jobs` pool workers, streaming each
+  /// response to \p OnResult in request order (the callback runs on
+  /// whichever worker completes the front of the order — serialise any
+  /// shared state yourself, or use `runAll`). Returns the batch
+  /// telemetry.
+  BatchTelemetry
+  run(std::span<const CheckRequest> Requests,
+      const std::function<void(const CheckResponse &)> &OnResult) const;
+
+  /// `run`, materialised: all responses in request order (telemetry
+  /// optionally reported through \p Telemetry).
+  std::vector<CheckResponse>
+  runAll(std::span<const CheckRequest> Requests,
+         BatchTelemetry *Telemetry = nullptr) const;
+
+private:
+  std::vector<CheckResponse>
+  runAllInto(std::span<const CheckRequest> Requests,
+             const std::function<void(const CheckResponse &)> &OnResult,
+             BatchTelemetry &T) const;
+
+  BatchOptions Opts;
+};
+
+} // namespace tmw
+
+#endif // TMW_QUERY_QUERYENGINE_H

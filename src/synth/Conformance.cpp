@@ -69,7 +69,7 @@ struct ForbidSearch {
   double BudgetSeconds;
   TimePoint Start;
   /// Extra abort signal polled with the budget (work-stealing cancel).
-  const WorkQueue *Pool = nullptr;
+  const WorkQueue<BasePrefix> *Pool = nullptr;
 
   ForbidSearch(const MemoryModel &Tm, const MemoryModel &Baseline,
                const Vocabulary &V, unsigned NumEvents,
@@ -126,7 +126,8 @@ void runStaticShard(const ForbidSearch &Search, unsigned Shard,
 
 /// One work-stealing worker: pop prefix tasks; split big ones back into
 /// the pool, run small ones to completion.
-void runPoolWorker(const ForbidSearch &Search, WorkQueue &Q, unsigned W,
+void runPoolWorker(const ForbidSearch &Search, WorkQueue<BasePrefix> &Q,
+                   unsigned W,
                    double SplitTarget, SearchBuffer &Buf) {
   std::optional<ExecutionAnalysis> Arena;
   unsigned Num = Search.Enum.numEvents();
@@ -221,7 +222,7 @@ ForbidSuite tmw::synthesizeForbid(const MemoryModel &TmModel,
     }
   } else {
     unsigned NumWorkers = std::max(1u, Jobs);
-    WorkQueue Q(NumWorkers);
+    WorkQueue<BasePrefix> Q(NumWorkers);
     double RootCost = 0;
     Search.Enum.forEachSkeleton([&](const std::vector<unsigned> &Sizes) {
       BasePrefix Root{Sizes, {}};

@@ -43,6 +43,7 @@
 #define TMW_SYNTH_CONFORMANCE_H
 
 #include "enumerate/Relaxation.h"
+#include "enumerate/WorkQueue.h"
 
 #include <vector>
 
@@ -55,18 +56,6 @@ enum class ShardStrategy {
   /// The first skeleton decision dealt round-robin to fixed shards — the
   /// historical scheme, kept as the load-balance baseline.
   StaticRoundRobin,
-};
-
-/// Per-worker load telemetry (one entry per worker/shard actually run).
-struct WorkerLoad {
-  /// Wall-clock seconds this worker spent processing tasks.
-  double BusySeconds = 0;
-  /// Tasks processed / tasks split into children / tasks obtained by
-  /// stealing. Static sharding runs one task per shard and never splits
-  /// or steals.
-  uint64_t Tasks = 0, Splits = 0, Steals = 0;
-  /// Base executions this worker visited.
-  uint64_t BasesVisited = 0;
 };
 
 /// The Forbid suite for one event count.

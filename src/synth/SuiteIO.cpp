@@ -4,6 +4,7 @@
 
 #include "litmus/FromExecution.h"
 #include "litmus/Printer.h"
+#include "query/Json.h"
 
 #include <cstdio>
 #include <filesystem>
@@ -11,6 +12,17 @@
 #include <sstream>
 
 using namespace tmw;
+
+namespace {
+
+/// `NNN`-style test name within a suite.
+std::string testName(const std::string &SuiteName, unsigned I) {
+  char Suffix[32];
+  std::snprintf(Suffix, sizeof(Suffix), "%03u", I);
+  return SuiteName + "-" + Suffix;
+}
+
+} // namespace
 
 SuiteExport tmw::writeSuite(const std::string &Dir,
                             const std::string &SuiteName,
@@ -27,8 +39,7 @@ SuiteExport tmw::writeSuite(const std::string &Dir,
   for (unsigned I = 0; I < Tests.size(); ++I) {
     char Name[32];
     snprintf(Name, sizeof(Name), "%03u", I);
-    Program P =
-        programFromExecution(Tests[I], SuiteName + "-" + Name).Prog;
+    Program P = programFromExecution(Tests[I], testName(SuiteName, I)).Prog;
 
     std::ostringstream Body;
     Body << "# suite: " << SuiteName << "\n";
@@ -53,5 +64,44 @@ SuiteExport tmw::writeSuite(const std::string &Dir,
     File << Body.str();
     ++Out.FilesWritten;
   }
+  return Out;
+}
+
+std::string tmw::suiteToJson(const std::string &SuiteName,
+                             const std::vector<Execution> &Tests,
+                             bool Forbidden) {
+  std::string Json = "{\"schema\": \"tmw-suite-v1\", \"suite\": ";
+  jsonAppendString(Json, SuiteName);
+  Json += ", \"verdict\": ";
+  Json += Forbidden ? "\"forbidden\"" : "\"allowed\"";
+  Json += ", \"tests\": [\n";
+  for (unsigned I = 0; I < Tests.size(); ++I) {
+    std::string Name = testName(SuiteName, I);
+    Program P = programFromExecution(Tests[I], Name).Prog;
+    Json += "  {\"index\": " + std::to_string(I) + ", \"name\": ";
+    jsonAppendString(Json, Name);
+    Json += ", \"dsl\": ";
+    jsonAppendString(Json, printDsl(P));
+    Json += '}';
+    if (I + 1 < Tests.size())
+      Json += ',';
+    Json += '\n';
+  }
+  Json += "]}\n";
+  return Json;
+}
+
+SuiteExport tmw::writeSuiteJson(const std::string &Path,
+                                const std::string &SuiteName,
+                                const std::vector<Execution> &Tests,
+                                bool Forbidden) {
+  SuiteExport Out;
+  std::ofstream File(Path);
+  if (!File) {
+    Out.Error = "cannot write " + Path;
+    return Out;
+  }
+  File << suiteToJson(SuiteName, Tests, Forbidden);
+  Out.FilesWritten = 1;
   return Out;
 }

@@ -33,6 +33,21 @@ struct SuiteExport {
 SuiteExport writeSuite(const std::string &Dir, const std::string &SuiteName,
                        const std::vector<Execution> &Tests, bool Forbidden);
 
+/// The suite as one JSON manifest — the machine-readable companion of
+/// `writeSuite`, in the query layer's canonical style (fixed field order,
+/// nothing nondeterministic): suite name, verdict, and per test its
+/// index, name, and round-trippable DSL source. Each test's source can be
+/// dropped straight into `CheckRequest::Source` (query/Query.h), so an
+/// exported suite is replayable as a query batch.
+std::string suiteToJson(const std::string &SuiteName,
+                        const std::vector<Execution> &Tests, bool Forbidden);
+
+/// Write `suiteToJson` to \p Path.
+SuiteExport writeSuiteJson(const std::string &Path,
+                           const std::string &SuiteName,
+                           const std::vector<Execution> &Tests,
+                           bool Forbidden);
+
 } // namespace tmw
 
 #endif // TMW_SYNTH_SUITEIO_H
