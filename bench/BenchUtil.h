@@ -17,6 +17,7 @@
 
 #include "synth/Conformance.h"
 
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -36,18 +37,36 @@ inline unsigned maxEvents(unsigned Default) {
   return Default;
 }
 
+/// Strictly parse one jobs value (digits only, positive, in-range); on a
+/// malformed value — the old `std::atoi` silently turned `--jobs foo` or
+/// an overflow into 0, clamped to 1 — print a one-line diagnostic naming
+/// \p What and exit nonzero, matching the tools' file:line-style strict
+/// diagnostics.
+inline unsigned parseJobsStrict(const char *Value, const char *What) {
+  const char *End = Value + std::strlen(Value);
+  unsigned Parsed = 0;
+  auto [P, Ec] = std::from_chars(Value, End, Parsed);
+  if (Ec != std::errc() || P != End || Parsed == 0) {
+    std::fprintf(stderr, "error: %s %s: expected a positive integer\n",
+                 What, Value);
+    std::exit(2);
+  }
+  return Parsed;
+}
+
 /// Parse the `--jobs N` / `--jobs=N` command-line knob, falling back to
 /// `TMW_BENCH_JOBS`, then to \p Default (1: deterministic single-threaded
-/// runs unless parallelism is asked for).
+/// runs unless parallelism is asked for). Malformed values are a
+/// diagnostic + exit 2, never a silent 1.
 inline unsigned jobs(int Argc, char **Argv, unsigned Default = 1) {
   for (int I = 1; I < Argc; ++I) {
     if (std::strcmp(Argv[I], "--jobs") == 0 && I + 1 < Argc)
-      return std::max(1, std::atoi(Argv[I + 1]));
+      return parseJobsStrict(Argv[I + 1], "--jobs");
     if (std::strncmp(Argv[I], "--jobs=", 7) == 0)
-      return std::max(1, std::atoi(Argv[I] + 7));
+      return parseJobsStrict(Argv[I] + 7, "--jobs");
   }
   if (const char *S = std::getenv("TMW_BENCH_JOBS"))
-    return std::max(1, std::atoi(S));
+    return parseJobsStrict(S, "TMW_BENCH_JOBS");
   return Default;
 }
 

@@ -1,0 +1,208 @@
+//===- server_throughput.cpp - Resident server vs per-batch cold starts ---------==//
+///
+/// The residency case for the query server: the repeated-query workloads
+/// (CI verdict matrices, ablation sweeps, the Wickerson-style RTL/silicon
+/// substitute columns) submit the *same corpus* against many model specs,
+/// batch after batch — so everything a one-shot run re-derives per batch
+/// (process startup, corpus/program parsing, model resolution, pool and
+/// arena construction) is pure overhead. This bench measures it:
+///
+///  * `resident`  — one `QueryServer`: threads, arenas, and caches live
+///    across batches (`serveLine` per batch, the real wire path);
+///  * `cold`      — a fresh `QueryEngine` + request re-parse per batch:
+///    the in-process floor of per-batch setup (no exec/loader cost);
+///  * `process`   — `./litmus_tool --corpus --json` via std::system, the
+///    true process-per-batch flow (skipped when the binary is not
+///    reachable from the working directory, e.g. outside the build dir).
+///
+/// Two workloads: the corpus × six-model batch by *reference* (corpus
+/// entries are process-static, so this isolates pool/model residency and
+/// process startup), and the same programs submitted as *inline DSL
+/// source* — the shape external clients send — where the resident
+/// program cache saves the per-batch parses outright.
+///
+/// Emits `BENCH_server_throughput.json`; like the other bench trackers
+/// the bars (resident beats process-per-batch on the corpus × six-model
+/// workload; resident beats the cold engine on the source workload) are
+/// tracked across commits via the JSON, not hard-asserted — CI boxes are
+/// too noisy for timing exits — but any *byte* divergence between the
+/// three paths is fatal.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "litmus/Library.h"
+#include "litmus/Printer.h"
+#include "query/QueryEngine.h"
+#include "query/QueryIO.h"
+#include "server/QueryServer.h"
+
+#include <chrono>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+using namespace tmw;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// The corpus × six-model batch (the acceptance workload), as requests
+/// and as its wire line. \p AsSource submits each test as inline DSL
+/// text instead of a corpus reference — the external-client shape that
+/// exercises per-batch program parsing.
+std::vector<CheckRequest> corpusBatch(bool AsSource) {
+  const std::vector<const char *> Specs = {"sc",    "tsc",   "x86",
+                                           "power", "armv8", "cpp"};
+  std::vector<CheckRequest> Requests;
+  for (const CorpusEntry &E : sharedCorpus()) {
+    CheckRequest R;
+    if (AsSource) {
+      R.Name = E.Name;
+      R.Source = printDsl(E.Prog);
+    } else {
+      R.Corpus = E.Name;
+    }
+    for (const char *S : Specs)
+      R.ModelSpecs.push_back(S);
+    R.WantOutcomes = true;
+    Requests.push_back(std::move(R));
+  }
+  return Requests;
+}
+
+/// Seconds per batch of serving \p BatchLine \p Batches times against
+/// \p Golden (any divergence is fatal — the bench doubles as a check).
+template <class ServeFn>
+double timeBatches(unsigned Batches, const std::string &Golden,
+                   const char *What, ServeFn Serve, bool &Ok) {
+  auto T0 = std::chrono::steady_clock::now();
+  for (unsigned B = 0; B < Batches; ++B)
+    if (Serve() != Golden) {
+      std::fprintf(stderr, "FATAL: %s batch diverged\n", What);
+      Ok = false;
+      return 0;
+    }
+  Ok = true;
+  return secondsSince(T0) / Batches;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  bench::header("Query-server throughput: resident vs per-batch cold start",
+                "the repeated-query serving shape of Table 1 / §5 sweeps");
+  unsigned Jobs = bench::jobs(argc, argv, 4);
+  bool Smoke = false;
+  for (int I = 1; I < argc; ++I)
+    if (std::strcmp(argv[I], "--smoke") == 0)
+      Smoke = true;
+  const unsigned Batches = Smoke ? 4 : 16;
+
+  std::vector<CheckRequest> Requests = corpusBatch(/*AsSource=*/false);
+  std::string BatchLine = requestsToJsonLine(Requests);
+  std::vector<CheckRequest> SourceRequests = corpusBatch(/*AsSource=*/true);
+  std::string SourceLine = requestsToJsonLine(SourceRequests);
+
+  auto ColdServe = [&](const std::string &Line) {
+    // Per-batch setup a one-shot run pays in-process: batch re-parse,
+    // fresh engine, fresh threads, per-request model resolution and
+    // program parsing (no caches).
+    std::vector<CheckRequest> Parsed;
+    std::string Error;
+    if (!requestsFromJson(Line, Parsed, &Error)) {
+      std::fprintf(stderr, "FATAL: %s\n", Error.c_str());
+      return std::string();
+    }
+    return responsesToJson(QueryEngine({Jobs}).runAll(Parsed));
+  };
+
+  QueryServer Server({Jobs});
+  std::string Golden = Server.serveLine(BatchLine); // warm the caches
+  std::string SourceGolden = Server.serveLine(SourceLine);
+  bool Ok = false;
+
+  // --- workload 1: corpus-reference requests ---------------------------
+  double ResidentSec = timeBatches(
+      Batches, Golden, "resident",
+      [&] { return Server.serveLine(BatchLine); }, Ok);
+  if (!Ok)
+    return 1;
+  double ColdSec = timeBatches(
+      Batches, Golden, "cold", [&] { return ColdServe(BatchLine); }, Ok);
+  if (!Ok)
+    return 1;
+
+  // --- workload 2: the same tests as inline DSL source -----------------
+  double SourceResidentSec = timeBatches(
+      Batches, SourceGolden, "resident-source",
+      [&] { return Server.serveLine(SourceLine); }, Ok);
+  if (!Ok)
+    return 1;
+  double SourceColdSec = timeBatches(
+      Batches, SourceGolden, "cold-source",
+      [&] { return ColdServe(SourceLine); }, Ok);
+  if (!Ok)
+    return 1;
+
+  // --- process-per-batch: the real litmus_tool flow, when reachable -----
+  double ProcessSec = 0;
+  char Cmd[128];
+  std::snprintf(Cmd, sizeof(Cmd),
+                "./litmus_tool --corpus --json --jobs %u > /dev/null", Jobs);
+  if (::access("./litmus_tool", X_OK) == 0) {
+    auto T0 = std::chrono::steady_clock::now();
+    for (unsigned B = 0; B < Batches; ++B)
+      if (std::system(Cmd) != 0) {
+        std::fprintf(stderr, "FATAL: litmus_tool batch failed\n");
+        return 1;
+      }
+    ProcessSec = secondsSince(T0) / Batches;
+  } else {
+    std::printf("(./litmus_tool not reachable; skipping the "
+                "process-per-batch row)\n");
+  }
+
+  std::printf("\ncorpus x six-model workload, %u batches, --jobs %u "
+              "(seconds per batch):\n",
+              Batches, Jobs);
+  std::printf("  by corpus reference:\n");
+  std::printf("    resident server (caches + pool live): %8.4fs\n",
+              ResidentSec);
+  std::printf("    cold engine per batch (in-process):   %8.4fs  (%.2fx)\n",
+              ColdSec, ColdSec / ResidentSec);
+  if (ProcessSec > 0)
+    std::printf("    process per batch (litmus_tool):      %8.4fs  (%.2fx)\n",
+                ProcessSec, ProcessSec / ResidentSec);
+  std::printf("  by inline DSL source (external-client shape):\n");
+  std::printf("    resident server (program cache hits): %8.4fs\n",
+              SourceResidentSec);
+  std::printf("    cold engine per batch (re-parses):    %8.4fs  (%.2fx)\n",
+              SourceColdSec, SourceColdSec / SourceResidentSec);
+
+  char Json[768];
+  std::snprintf(
+      Json, sizeof(Json),
+      "{\"bench\": \"server_throughput\", \"batches\": %u, \"jobs\": %u, "
+      "\"requests_per_batch\": %zu, "
+      "\"resident_seconds_per_batch\": %.6f, "
+      "\"cold_engine_seconds_per_batch\": %.6f, "
+      "\"process_seconds_per_batch\": %.6f, "
+      "\"source_resident_seconds_per_batch\": %.6f, "
+      "\"source_cold_seconds_per_batch\": %.6f, "
+      "\"speedup_vs_cold\": %.3f, \"speedup_vs_process\": %.3f, "
+      "\"source_speedup_vs_cold\": %.3f}",
+      Batches, Jobs, Requests.size(), ResidentSec, ColdSec, ProcessSec,
+      SourceResidentSec, SourceColdSec, ColdSec / ResidentSec,
+      ProcessSec > 0 ? ProcessSec / ResidentSec : 0.0,
+      SourceColdSec / SourceResidentSec);
+  bench::writeBenchJson("server_throughput", Json);
+  return 0;
+}

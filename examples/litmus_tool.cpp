@@ -38,13 +38,13 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "litmus/Library.h"
-#include "litmus/Parser.h"
 #include "models/ModelRegistry.h"
 #include "query/QueryEngine.h"
 #include "query/QueryIO.h"
 
-#include <algorithm>
+#include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -125,6 +125,15 @@ void printResponse(const CheckResponse &Resp, const std::string &File,
   std::printf("\n");
 }
 
+/// Strict `--cap` value parse: digits only, in-range (0 = unlimited is a
+/// legitimate explicit value). The old bare `strtoull` silently turned
+/// `--cap foo` into 0 — i.e. a typo'd cap *removed* the cap.
+bool parseCap(const char *Value, uint64_t &Out) {
+  const char *End = Value + std::strlen(Value);
+  auto [P, Ec] = std::from_chars(Value, End, Out);
+  return Ec == std::errc() && P == End && Value != End;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -152,13 +161,23 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(A, "--telemetry") == 0) {
       Telemetry = true;
     } else if (std::strcmp(A, "--jobs") == 0 && I + 1 < Argc) {
-      Jobs = std::max(1, std::atoi(Argv[++I]));
+      Jobs = bench::parseJobsStrict(Argv[++I], "--jobs");
     } else if (std::strncmp(A, "--jobs=", 7) == 0) {
-      Jobs = std::max(1, std::atoi(A + 7));
+      Jobs = bench::parseJobsStrict(A + 7, "--jobs");
     } else if (std::strcmp(A, "--cap") == 0 && I + 1 < Argc) {
-      Cap = std::strtoull(Argv[++I], nullptr, 10);
+      if (!parseCap(Argv[++I], Cap)) {
+        std::fprintf(stderr,
+                     "error: --cap %s: expected a non-negative integer\n",
+                     Argv[I]);
+        return 2;
+      }
     } else if (std::strncmp(A, "--cap=", 6) == 0) {
-      Cap = std::strtoull(A + 6, nullptr, 10);
+      if (!parseCap(A + 6, Cap)) {
+        std::fprintf(stderr,
+                     "error: --cap %s: expected a non-negative integer\n",
+                     A + 6);
+        return 2;
+      }
     } else if (std::strncmp(A, "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag %s\n", A);
       return 2;
@@ -202,16 +221,15 @@ int main(int Argc, char **Argv) {
     Ss << In.rdbuf();
     CheckRequest R;
     R.Source = Ss.str();
-    // Fail fast on unparseable input, before any batch work: one
-    // compiler-style line, nonzero exit.
-    if (ParseResult PR = parseProgram(R.Source); !PR) {
-      std::fprintf(stderr, "%s\n", PR.diagnostic(File).c_str());
-      return 1;
-    }
+    // Unparseable input is NOT fail-fast: the request joins the batch and
+    // the engine reports its error, so a bad file in the middle of a
+    // multi-file batch still gets every other file checked, every failing
+    // file its own `file:line:` diagnostic, and the exit stays nonzero
+    // however late in the batch the failure sits.
     Add(std::move(R), File);
   }
   if (Corpus)
-    for (const CorpusEntry &E : standardCorpus()) {
+    for (const CorpusEntry &E : sharedCorpus()) {
       CheckRequest R;
       R.Corpus = E.Name;
       Add(std::move(R), "");

@@ -1,0 +1,130 @@
+//===- tmw_serve.cpp - The long-lived query server CLI --------------------------==//
+///
+/// The resident frontend of the batch query engine (server/QueryServer.h):
+/// instead of one process per batch, start once and stream batches in —
+/// the corpus, parsed programs, resolved model specs, and the worker pool
+/// (threads + analysis arenas) stay resident, so repeated CI/bench
+/// queries stop paying process startup and re-parsing.
+///
+/// Wire form (NDJSON): one `tmw-query-batch-v1` document per input line;
+/// one `tmw-query-verdicts-v1` document per batch on stdout, byte-for-byte
+/// identical to a one-shot `litmus_tool --json` run of the same requests
+/// and jobs count. A malformed line answers with an error document and
+/// the server lives on.
+///
+/// Usage:   ./tmw_serve [options]              # serve stdin -> stdout
+/// Example: ./tmw_serve --print-corpus-batch | ./tmw_serve --jobs 4
+///          ./tmw_serve --jobs 4 --listen /tmp/tmw.sock
+///
+/// Flags:
+///   --jobs N              resident pool workers (strict parse: a
+///                         malformed or non-positive N is a usage error).
+///   --listen <path>       serve a Unix-domain stream socket at <path>
+///                         (connections served serially) instead of stdin.
+///   --telemetry           append batch timing + per-worker load to every
+///                         verdicts document (forfeits byte-identity with
+///                         one-shot runs).
+///   --stats               print session counters (batches, cache hits,
+///                         evictions) to stderr at EOF.
+///   --print-corpus-batch  emit the built-in corpus as one batch line —
+///                         the requests `litmus_tool --corpus --json`
+///                         evaluates — and exit; pipe it back into a
+///                         server (or save it as a CI fixture).
+///
+/// Exit status: 0 on clean EOF, 1 on socket errors, 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "BenchUtil.h"
+#include "litmus/Library.h"
+#include "query/QueryIO.h"
+#include "server/QueryServer.h"
+#include "server/Transport.h"
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace tmw;
+
+namespace {
+
+int usageError(const char *Fmt, const char *Arg) {
+  std::fprintf(stderr, Fmt, Arg);
+  std::fputc('\n', stderr);
+  return 2;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Jobs = 1;
+  bool Telemetry = false, Stats = false, PrintCorpusBatch = false;
+  std::string ListenPath;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--jobs") == 0 && I + 1 < Argc) {
+      Jobs = bench::parseJobsStrict(Argv[++I], "--jobs");
+      continue;
+    }
+    if (std::strncmp(A, "--jobs=", 7) == 0) {
+      Jobs = bench::parseJobsStrict(A + 7, "--jobs");
+      continue;
+    }
+    if (std::strcmp(A, "--listen") == 0 && I + 1 < Argc) {
+      ListenPath = Argv[++I];
+    } else if (std::strncmp(A, "--listen=", 9) == 0) {
+      ListenPath = A + 9;
+    } else if (std::strcmp(A, "--telemetry") == 0) {
+      Telemetry = true;
+    } else if (std::strcmp(A, "--stats") == 0) {
+      Stats = true;
+    } else if (std::strcmp(A, "--print-corpus-batch") == 0) {
+      PrintCorpusBatch = true;
+    } else {
+      return usageError("error: unknown flag %s", A);
+    }
+  }
+
+  if (PrintCorpusBatch) {
+    // The exact requests litmus_tool --corpus --json builds (--json
+    // implies outcome collection), as one NDJSON line.
+    std::vector<CheckRequest> Requests;
+    for (const CorpusEntry &E : sharedCorpus()) {
+      CheckRequest R;
+      R.Corpus = E.Name;
+      R.WantOutcomes = true;
+      Requests.push_back(std::move(R));
+    }
+    std::printf("%s\n", requestsToJsonLine(Requests).c_str());
+    return 0;
+  }
+
+  // A client that disconnects mid-write must not kill the server.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  QueryServer Server({Jobs, Telemetry});
+  int Exit = ListenPath.empty()
+                 ? server::serveStdio(Server)
+                 : server::serveUnixSocket(Server, ListenPath);
+
+  if (Stats) {
+    ServerStats St = Server.stats();
+    std::fprintf(stderr,
+                 "tmw_serve: %llu batches (%llu bad), %llu requests; "
+                 "program cache %llu hits / %llu misses (%llu resident, "
+                 "%llu evictions); model cache %llu hits / %llu misses\n",
+                 static_cast<unsigned long long>(St.Batches),
+                 static_cast<unsigned long long>(St.BadBatches),
+                 static_cast<unsigned long long>(St.Requests),
+                 static_cast<unsigned long long>(St.Cache.ProgramHits),
+                 static_cast<unsigned long long>(St.Cache.ProgramMisses),
+                 static_cast<unsigned long long>(St.Cache.ProgramsCached),
+                 static_cast<unsigned long long>(St.Cache.ProgramEvictions),
+                 static_cast<unsigned long long>(St.Cache.ModelHits),
+                 static_cast<unsigned long long>(St.Cache.ModelMisses));
+  }
+  return Exit;
+}

@@ -146,6 +146,26 @@ public:
       Cv.notify_all(); // possible termination: wake everyone to re-check
   }
 
+  /// Rearm a drained (or cancelled) pool for the next batch: clears the
+  /// cancel flag and rewinds the seed cursor so `seed` deals from worker
+  /// 0 again. The resident-server path reuses one pool across batches
+  /// through this instead of constructing a queue (and its deques) per
+  /// call. Precondition: quiescent — every worker has returned from its
+  /// pop loop, so nothing is queued or in flight; call it between
+  /// batches, never concurrently with pop/push/finish.
+  void reset() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    assert(InFlight == 0 && "reset while a task is still being processed");
+#ifndef NDEBUG
+    for (const std::deque<Task> &D : Deques)
+      assert((Cancelled || D.empty()) && "reset with queued tasks");
+#endif
+    for (std::deque<Task> &D : Deques)
+      D.clear(); // a cancelled pool may still hold its dropped tasks
+    Cancelled = false;
+    SeedCursor = 0;
+  }
+
   /// Abort: wake every blocked worker and make all pops return false.
   /// Tasks still queued are dropped.
   void cancel() {

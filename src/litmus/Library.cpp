@@ -5,6 +5,7 @@
 #include "litmus/Parser.h"
 
 #include <cassert>
+#include <unordered_map>
 
 using namespace tmw;
 
@@ -590,6 +591,28 @@ post mem m 0
                     "in EXPERIMENTS.md"));
 
   return C;
+}
+
+const std::vector<CorpusEntry> &tmw::sharedCorpus() {
+  // Built once per process, immutable after: the residency anchor every
+  // repeated-query consumer (query engine, server, benches) shares
+  // instead of re-parsing ~25 programs per standardCorpus() call.
+  static const std::vector<CorpusEntry> C = standardCorpus();
+  return C;
+}
+
+const CorpusEntry *tmw::findCorpusEntry(std::string_view Name) {
+  // The name → index map is built on first use; entries point into the
+  // shared corpus, so the returned pointer never dangles.
+  static const std::unordered_map<std::string_view, size_t> Index = [] {
+    std::unordered_map<std::string_view, size_t> M;
+    const std::vector<CorpusEntry> &C = sharedCorpus();
+    for (size_t I = 0; I < C.size(); ++I)
+      M.emplace(C[I].Name, I);
+    return M;
+  }();
+  auto It = Index.find(Name);
+  return It == Index.end() ? nullptr : &sharedCorpus()[It->second];
 }
 
 std::optional<bool> tmw::expectedVerdict(const CorpusEntry &E, Arch A) {

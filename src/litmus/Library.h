@@ -20,6 +20,7 @@
 #include "models/MemoryModel.h"
 
 #include <optional>
+#include <string_view>
 #include <vector>
 
 namespace tmw {
@@ -39,6 +40,18 @@ struct CorpusEntry {
 
 /// The standard corpus (built once per call; ~25 entries).
 std::vector<CorpusEntry> standardCorpus();
+
+/// The process-wide shared corpus: built once, immutable and alive for
+/// the process lifetime — the copy long-lived consumers (the query
+/// engine and server, the benches) should reference instead of paying a
+/// fresh `standardCorpus()` parse per call. Safe to read from any
+/// thread after the first call returns.
+const std::vector<CorpusEntry> &sharedCorpus();
+
+/// O(1) lookup of a `sharedCorpus()` entry by test name; nullptr when
+/// unknown. The pointer stays valid for the process lifetime (cache-safe
+/// program ownership: responses and caches may hold `&E->Prog` freely).
+const CorpusEntry *findCorpusEntry(std::string_view Name);
 
 /// Look up the expected verdict of \p E for \p A.
 std::optional<bool> expectedVerdict(const CorpusEntry &E, Arch A);

@@ -131,13 +131,12 @@ std::string ParseResult::diagnostic(std::string_view File) const {
   return Out;
 }
 
-ParseResult tmw::parseProgram(const std::string &Text) {
+ParseResult tmw::parseProgram(std::string_view Text) {
   ParseResult Res;
   Program &P = Res.Prog;
   int CurThread = -1;
   unsigned LineNo = 0;
 
-  std::istringstream In(Text);
   std::string Line;
   auto Fail = [&](const std::string &Msg) {
     Res.Error = Msg;
@@ -145,7 +144,18 @@ ParseResult tmw::parseProgram(const std::string &Text) {
     return Res;
   };
 
-  while (std::getline(In, Line)) {
+  // Walk the lines of the view directly (no stream, no input copy): the
+  // long-lived server parses sources straight out of wire buffers, and a
+  // view keeps the parse allocation-proportional to one line.
+  for (size_t Cursor = 0; Cursor < Text.size();) {
+    size_t Nl = Text.find('\n', Cursor);
+    if (Nl == std::string_view::npos) {
+      Line.assign(Text.substr(Cursor));
+      Cursor = Text.size();
+    } else {
+      Line.assign(Text.substr(Cursor, Nl - Cursor));
+      Cursor = Nl + 1;
+    }
     ++LineNo;
     std::vector<std::string> Toks = tokenize(Line);
     if (Toks.empty())

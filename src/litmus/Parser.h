@@ -50,8 +50,11 @@ struct ParseResult {
   std::string diagnostic(std::string_view File = {}) const;
 };
 
-/// Parse \p Text in the DSL of `printDsl`.
-ParseResult parseProgram(const std::string &Text);
+/// Parse \p Text in the DSL of `printDsl`. Takes a view: callers (the
+/// query server's session cache in particular) can parse straight out of
+/// wire buffers; the result owns all of its storage, so it stays valid
+/// after the viewed text is gone (cache-safe program ownership).
+ParseResult parseProgram(std::string_view Text);
 
 } // namespace tmw
 

@@ -3,6 +3,8 @@
 #include "query/Json.h"
 
 #include <cctype>
+#include <charconv>
+#include <cinttypes>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -68,11 +70,40 @@ double JsonValue::getNumber(std::string_view Key, double Default) const {
   return V && V->isNumber() ? V->Num : Default;
 }
 
+std::optional<uint64_t> JsonValue::asUint() const {
+  if (K != Kind::Number)
+    return std::nullopt;
+  if (NF == NumForm::Uint)
+    return U;
+  if (NF == NumForm::Int && I >= 0)
+    return static_cast<uint64_t>(I);
+  // Double form (fraction, exponent, or 64-bit overflow): rejecting beats
+  // returning a silently rounded value.
+  return std::nullopt;
+}
+
+std::optional<int64_t> JsonValue::asInt() const {
+  if (K != Kind::Number)
+    return std::nullopt;
+  if (NF == NumForm::Int)
+    return I;
+  if (NF == NumForm::Uint && U <= static_cast<uint64_t>(INT64_MAX))
+    return static_cast<int64_t>(U);
+  return std::nullopt;
+}
+
 uint64_t JsonValue::getUint(std::string_view Key, uint64_t Default) const {
   const JsonValue *V = get(Key);
-  if (!V || !V->isNumber() || V->Num < 0)
+  if (!V)
     return Default;
-  return static_cast<uint64_t>(V->Num);
+  return V->asUint().value_or(Default);
+}
+
+int64_t JsonValue::getInt(std::string_view Key, int64_t Default) const {
+  const JsonValue *V = get(Key);
+  if (!V)
+    return Default;
+  return V->asInt().value_or(Default);
 }
 
 std::string_view JsonValue::getString(std::string_view Key,
@@ -317,6 +348,33 @@ struct Parser {
     Pos = End;
     Out.K = JsonValue::Kind::Number;
     Out.Num = V;
+    // Integer-preserving path: a plain integer token (optional sign,
+    // digits only — no fraction or exponent) that fits 64 bits is kept
+    // exactly, because the double above rounds past 2^53 and the u64
+    // count/cap fields of the wire form live in that range.
+    size_t DigitsFrom = Token[0] == '-' ? 1 : 0;
+    bool PlainInt = Token.size() > DigitsFrom;
+    for (size_t D = DigitsFrom; D < Token.size(); ++D)
+      if (!std::isdigit(static_cast<unsigned char>(Token[D])))
+        PlainInt = false;
+    if (PlainInt) {
+      const char *First = Token.data(), *Last = Token.data() + Token.size();
+      if (Token[0] == '-') {
+        int64_t I = 0;
+        if (auto [P, Ec] = std::from_chars(First, Last, I);
+            Ec == std::errc() && P == Last) {
+          Out.NF = JsonValue::NumForm::Int;
+          Out.I = I;
+        }
+      } else {
+        uint64_t U = 0;
+        if (auto [P, Ec] = std::from_chars(First, Last, U);
+            Ec == std::errc() && P == Last) {
+          Out.NF = JsonValue::NumForm::Uint;
+          Out.U = U;
+        }
+      }
+    }
     return true;
   }
 };

@@ -38,9 +38,30 @@ std::string jsonQuote(std::string_view S);
 struct JsonValue {
   enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
 
+  /// How a number token was captured. `strtod` alone rounds u64-range
+  /// integers (anything above 2^53) to the nearest double, which would
+  /// silently corrupt `candidate_cap` / count fields on a parse →
+  /// serialise round trip — so plain integer tokens that fit 64 bits are
+  /// *also* stored exactly, and the typed accessors below prefer the
+  /// exact form.
+  enum class NumForm : uint8_t {
+    /// Not lexically a 64-bit integer (decimal point, exponent, or out of
+    /// 64-bit range); only `Num` is meaningful.
+    Double,
+    /// A plain non-negative integer token that fits uint64_t: `U` is
+    /// exact (`Num` is the nearest double, possibly lossy).
+    Uint,
+    /// A plain negative integer token that fits int64_t: `I` is exact.
+    Int,
+  };
+
   Kind K = Kind::Null;
   bool B = false;
+  NumForm NF = NumForm::Double;
   double Num = 0;
+  /// Exact integer payloads (see `NumForm`).
+  uint64_t U = 0;
+  int64_t I = 0;
   std::string Str;
   std::vector<JsonValue> Arr;
   std::vector<std::pair<std::string, JsonValue>> Members;
@@ -57,11 +78,23 @@ struct JsonValue {
 
   /// Typed member accessors with defaults — the tolerant-read style the
   /// IO layer uses (missing field = default, wrong type = default).
+  /// `getUint`/`getInt` go through the integer-preserving token path:
+  /// they return the *exact* source integer, and reject (return the
+  /// default for) values that would be lossy — fractional numbers,
+  /// exponent forms, integers outside the target range — instead of
+  /// rounding them.
   bool getBool(std::string_view Key, bool Default = false) const;
   double getNumber(std::string_view Key, double Default = 0) const;
   uint64_t getUint(std::string_view Key, uint64_t Default = 0) const;
+  int64_t getInt(std::string_view Key, int64_t Default = 0) const;
   std::string_view getString(std::string_view Key,
                              std::string_view Default = {}) const;
+
+  /// This value as an exact integer (the accessor cores above): nullopt
+  /// unless the value is a number whose source token was a plain integer
+  /// in the target type's range.
+  std::optional<uint64_t> asUint() const;
+  std::optional<int64_t> asInt() const;
 };
 
 /// Parse \p Text as one JSON value (trailing whitespace allowed, trailing

@@ -6,11 +6,9 @@
 #include "litmus/Library.h"
 #include "litmus/Parser.h"
 #include "models/ModelRegistry.h"
+#include "query/SessionCache.h"
 
 #include <algorithm>
-#include <chrono>
-#include <mutex>
-#include <optional>
 #include <thread>
 
 using namespace tmw;
@@ -25,24 +23,13 @@ double secondsSince(TimePoint Start) {
       .count();
 }
 
-/// The standard corpus, built once per process (immutable after).
-const std::vector<CorpusEntry> &corpus() {
-  static const std::vector<CorpusEntry> C = standardCorpus();
-  return C;
-}
-
-const CorpusEntry *findCorpusEntry(const std::string &Name) {
-  for (const CorpusEntry &E : corpus())
-    if (E.Name == Name)
-      return &E;
-  return nullptr;
-}
-
 /// Evaluate one request using \p Arena as the per-worker analysis arena
 /// (created on first use, retargeted per candidate — the same arena
-/// discipline as the synthesis workers).
+/// discipline as the synthesis workers). \p Cache, when set, supplies
+/// interned models and cached parses; it never changes the response.
 CheckResponse evaluateRequest(const CheckRequest &R,
-                              std::optional<ExecutionAnalysis> &Arena) {
+                              std::optional<ExecutionAnalysis> &Arena,
+                              SessionCache *Cache) {
   TimePoint T0 = std::chrono::steady_clock::now();
   CheckResponse Resp;
   Resp.Name = R.Name;
@@ -52,16 +39,20 @@ CheckResponse evaluateRequest(const CheckRequest &R,
   };
 
   // Resolve every model spec up front: a bad spec fails the request
-  // before any enumeration work.
+  // before any enumeration work. Const models are shared freely across
+  // threads, so cached resolutions are handed out as-is.
   std::vector<std::string> Specs = R.ModelSpecs;
   if (Specs.empty())
     for (Arch A : ModelRegistry::allArchs())
       Specs.push_back(ModelRegistry::archSpecName(A));
-  std::vector<std::unique_ptr<MemoryModel>> Models;
+  std::vector<std::shared_ptr<const MemoryModel>> Models;
   Models.reserve(Specs.size());
   for (const std::string &Spec : Specs) {
     std::string Error;
-    std::unique_ptr<MemoryModel> M = ModelRegistry::parse(Spec, &Error);
+    std::shared_ptr<const MemoryModel> M =
+        Cache ? Cache->model(Spec, &Error)
+              : std::shared_ptr<const MemoryModel>(
+                    ModelRegistry::parse(Spec, &Error));
     if (!M) {
       Resp.Error = "model spec '" + Spec + "': " + Error;
       return Finish();
@@ -69,22 +60,31 @@ CheckResponse evaluateRequest(const CheckRequest &R,
     Models.push_back(std::move(M));
   }
 
-  // Resolve the program: inline DSL source or a corpus entry.
-  Program Parsed;
+  // Resolve the program: inline DSL source or a corpus entry. The cached
+  // parse (and the shared corpus entry) outlive this evaluation — the
+  // shared_ptr keeps an evicted entry alive while we hold it.
+  ParseResult LocalParse;
+  std::shared_ptr<const ParseResult> CachedParse;
   const Program *P = nullptr;
   if (!R.Source.empty() && !R.Corpus.empty()) {
     Resp.Error = "request sets both 'source' and 'corpus'";
     return Finish();
   }
   if (!R.Source.empty()) {
-    ParseResult PR = parseProgram(R.Source);
-    if (!PR) {
-      Resp.Error = "parse error: " + PR.Error;
-      Resp.ErrorLine = PR.ErrorLine;
+    const ParseResult *PR;
+    if (Cache) {
+      CachedParse = Cache->program(R.Source);
+      PR = CachedParse.get();
+    } else {
+      LocalParse = parseProgram(R.Source);
+      PR = &LocalParse;
+    }
+    if (!*PR) {
+      Resp.Error = "parse error: " + PR->Error;
+      Resp.ErrorLine = PR->ErrorLine;
       return Finish();
     }
-    Parsed = std::move(PR.Prog);
-    P = &Parsed;
+    P = &PR->Prog;
   } else if (!R.Corpus.empty()) {
     const CorpusEntry *E = findCorpusEntry(R.Corpus);
     if (!E) {
@@ -169,9 +169,58 @@ CheckResponse evaluateRequest(const CheckRequest &R,
 
 } // namespace
 
+BatchRun::BatchRun(std::span<const CheckRequest> Requests,
+                   WorkQueue<size_t> &Q, SessionCache *Cache,
+                   std::function<void(const CheckResponse &)> OnResult)
+    : Requests(Requests), Q(Q), Cache(Cache), OnResult(std::move(OnResult)),
+      Results(Requests.size()), Done(Requests.size(), 0),
+      Loads(Q.numWorkers()), T0(std::chrono::steady_clock::now()) {
+  // One monolithic task per request: the pool acts as a balanced
+  // distributor with stealing.
+  for (size_t I = 0; I < Requests.size(); ++I)
+    Q.seed(I);
+}
+
+void BatchRun::work(unsigned Worker,
+                    std::optional<ExecutionAnalysis> &Arena) {
+  size_t I = 0;
+  bool Stolen = false;
+  while (Q.pop(Worker, I, Stolen)) {
+    TimePoint S0 = std::chrono::steady_clock::now();
+    ++Loads[Worker].Tasks;
+    Loads[Worker].Steals += Stolen;
+    Results[I] = evaluateRequest(Requests[I], Arena, Cache);
+    Loads[Worker].BasesVisited += Results[I].Candidates;
+    Loads[Worker].BusySeconds += secondsSince(S0);
+    {
+      // Stream in request order: emit response i only after 0..i-1.
+      std::lock_guard<std::mutex> Lock(EmitMu);
+      Done[I] = 1;
+      while (NextToEmit < Results.size() && Done[NextToEmit]) {
+        if (OnResult)
+          OnResult(Results[NextToEmit]);
+        ++NextToEmit;
+      }
+    }
+    Q.finish(Worker);
+  }
+}
+
+std::vector<CheckResponse> BatchRun::take(BatchTelemetry &T) {
+  T.Programs = Requests.size();
+  T.Candidates = T.Checks = 0;
+  for (const CheckResponse &R : Results) {
+    T.Candidates += R.Candidates;
+    T.Checks += R.Candidates * R.Verdicts.size();
+  }
+  T.Workers = std::move(Loads);
+  T.Seconds = secondsSince(T0);
+  return std::move(Results);
+}
+
 CheckResponse QueryEngine::evaluate(const CheckRequest &R) const {
   std::optional<ExecutionAnalysis> Arena;
-  return evaluateRequest(R, Arena);
+  return evaluateRequest(R, Arena, Opts.Cache);
 }
 
 BatchTelemetry QueryEngine::run(
@@ -196,71 +245,33 @@ std::vector<CheckResponse> QueryEngine::runAllInto(
     std::span<const CheckRequest> Requests,
     const std::function<void(const CheckResponse &)> &OnResult,
     BatchTelemetry &T) const {
-  TimePoint T0 = std::chrono::steady_clock::now();
   size_t N = Requests.size();
-  T.Programs = N;
-  std::vector<CheckResponse> Results(N);
   if (N == 0) {
-    T.Seconds = secondsSince(T0);
-    return Results;
+    T.Programs = 0;
+    return {};
   }
 
-  // One pool task per request; requests are monolithic (never split), so
-  // the pool acts as a balanced distributor with stealing. Idle workers
+  // One-shot flow: construct a queue and workers per call, then drive the
+  // same BatchRun the resident server reuses across batches. Idle workers
   // beyond the request count would only contend, so clamp.
   unsigned Jobs = std::max(1u, Opts.Jobs);
-  Jobs = static_cast<unsigned>(
-      std::min<size_t>(Jobs, N));
+  Jobs = static_cast<unsigned>(std::min<size_t>(Jobs, N));
   WorkQueue<size_t> Q(Jobs);
-  for (size_t I = 0; I < N; ++I)
-    Q.seed(I);
-
-  std::vector<WorkerLoad> Loads(Jobs);
-  std::mutex EmitMu;
-  size_t NextToEmit = 0;
-  std::vector<char> Done(N, 0);
-
-  auto Worker = [&](unsigned W) {
-    std::optional<ExecutionAnalysis> Arena;
-    size_t I = 0;
-    bool Stolen = false;
-    while (Q.pop(W, I, Stolen)) {
-      TimePoint S0 = std::chrono::steady_clock::now();
-      ++Loads[W].Tasks;
-      Loads[W].Steals += Stolen;
-      Results[I] = evaluateRequest(Requests[I], Arena);
-      Loads[W].BasesVisited += Results[I].Candidates;
-      Loads[W].BusySeconds += secondsSince(S0);
-      {
-        // Stream in request order: emit response i only after 0..i-1.
-        std::lock_guard<std::mutex> Lock(EmitMu);
-        Done[I] = 1;
-        while (NextToEmit < N && Done[NextToEmit]) {
-          if (OnResult)
-            OnResult(Results[NextToEmit]);
-          ++NextToEmit;
-        }
-      }
-      Q.finish(W);
-    }
-  };
+  BatchRun Batch(Requests, Q, Opts.Cache, OnResult);
 
   if (Jobs == 1) {
-    Worker(0);
+    std::optional<ExecutionAnalysis> Arena;
+    Batch.work(0, Arena);
   } else {
     std::vector<std::thread> Threads;
     Threads.reserve(Jobs);
     for (unsigned W = 0; W < Jobs; ++W)
-      Threads.emplace_back(Worker, W);
+      Threads.emplace_back([&Batch, W] {
+        std::optional<ExecutionAnalysis> Arena;
+        Batch.work(W, Arena);
+      });
     for (std::thread &Th : Threads)
       Th.join();
   }
-
-  for (const CheckResponse &R : Results) {
-    T.Candidates += R.Candidates;
-    T.Checks += R.Candidates * R.Verdicts.size();
-  }
-  T.Workers = std::move(Loads);
-  T.Seconds = secondsSince(T0);
-  return Results;
+  return Batch.take(T);
 }

@@ -25,20 +25,76 @@
 #ifndef TMW_QUERY_QUERYENGINE_H
 #define TMW_QUERY_QUERYENGINE_H
 
+#include "execution/ExecutionAnalysis.h"
 #include "query/Query.h"
 
+#include <chrono>
 #include <functional>
+#include <mutex>
+#include <optional>
 #include <span>
 
 namespace tmw {
+
+class SessionCache;
 
 /// Batch evaluation options.
 struct BatchOptions {
   /// Worker threads for `run`/`runAll` (1 = evaluate inline, no threads).
   unsigned Jobs = 1;
+  /// Optional resident caches (parsed programs, interned model specs)
+  /// consulted by every evaluation. nullptr = parse and resolve per
+  /// request, as a one-shot run does. Caching never changes a verdict —
+  /// a cached program/model is identical to a re-parsed one — so cached
+  /// and uncached runs produce byte-identical response JSON.
+  SessionCache *Cache = nullptr;
+};
+
+/// One batch in flight over a caller-owned `WorkQueue<size_t>` — the seam
+/// between the engine's evaluation logic and whoever owns the worker
+/// threads. `QueryEngine::run` builds a queue and threads per call; the
+/// resident query server (server/QueryServer.h) keeps both alive across
+/// batches and drives the *same* code, so its responses match one-shot
+/// runs byte for byte by construction.
+///
+/// Protocol: construct over a quiescent queue (the constructor seeds one
+/// task per request), have each of the queue's workers call `work` until
+/// it returns, then collect results with `take`. Responses stream to the
+/// optional callback in request order, whatever order workers finish in.
+class BatchRun {
+public:
+  BatchRun(std::span<const CheckRequest> Requests, WorkQueue<size_t> &Q,
+           SessionCache *Cache = nullptr,
+           std::function<void(const CheckResponse &)> OnResult = nullptr);
+  BatchRun(const BatchRun &) = delete;
+  BatchRun &operator=(const BatchRun &) = delete;
+
+  /// Worker body: pop and evaluate requests until the queue drains.
+  /// \p Arena is this worker's persistent analysis arena (created on
+  /// first use, retargeted per candidate, reusable across batches).
+  void work(unsigned Worker, std::optional<ExecutionAnalysis> &Arena);
+
+  /// After every worker returned: the responses (request order) and the
+  /// batch telemetry.
+  std::vector<CheckResponse> take(BatchTelemetry &T);
+
+private:
+  std::span<const CheckRequest> Requests;
+  WorkQueue<size_t> &Q;
+  SessionCache *Cache;
+  std::function<void(const CheckResponse &)> OnResult;
+  std::vector<CheckResponse> Results;
+  /// Responses computed but not yet emitted in order (guarded by EmitMu).
+  std::vector<char> Done;
+  std::vector<WorkerLoad> Loads;
+  size_t NextToEmit = 0;
+  std::mutex EmitMu;
+  std::chrono::steady_clock::time_point T0;
 };
 
 /// Stateless evaluator of `CheckRequest` batches; cheap to construct.
+/// (For a long-lived session that keeps threads, arenas, and caches
+/// resident across batches, see server/QueryServer.h.)
 class QueryEngine {
 public:
   explicit QueryEngine(BatchOptions Opts = {}) : Opts(Opts) {}

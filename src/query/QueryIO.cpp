@@ -131,8 +131,10 @@ bool parseVerdict(const JsonValue &V, ModelVerdict &Out,
   Out.Spec = std::string(V.getString("spec"));
   Out.Allowed = V.getBool("allowed");
   Out.Consistent = V.getUint("consistent");
-  Out.FirstForbidden =
-      static_cast<int64_t>(V.getNumber("first_forbidden", -1));
+  // Through the integer-preserving token path: u64-range counts and the
+  // -1 sentinel survive a round trip exactly (a double read would round
+  // anything above 2^53).
+  Out.FirstForbidden = V.getInt("first_forbidden", -1);
   if (const JsonValue *Fa = V.get("failed_axioms"); Fa && Fa->isArray())
     for (const JsonValue &F : Fa->Arr) {
       if (!F.isObject())
@@ -246,6 +248,24 @@ std::string tmw::toJson(const CheckResponse &R, bool IncludeTiming) {
     appendSeconds(Out, R.Seconds);
   }
   Out += '}';
+  return Out;
+}
+
+std::string tmw::requestsToJsonLine(std::span<const CheckRequest> Requests) {
+  std::string Out = "{\"schema\": \"tmw-query-batch-v1\", \"requests\": [";
+  for (size_t I = 0; I < Requests.size(); ++I) {
+    if (I)
+      Out += ", ";
+    Out += toJson(Requests[I]);
+  }
+  Out += "]}";
+  return Out;
+}
+
+std::string tmw::batchErrorToJson(const std::string &Error) {
+  std::string Out = "{\"schema\": \"tmw-query-verdicts-v1\",\n \"error\": ";
+  jsonAppendString(Out, Error);
+  Out += ",\n \"responses\": [\n ]}\n";
   return Out;
 }
 

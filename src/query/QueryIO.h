@@ -37,6 +37,16 @@ std::string toJson(const CheckResponse &R, bool IncludeTiming = false);
 /// (one request per line).
 std::string requestsToJson(std::span<const CheckRequest> Requests);
 
+/// The same batch as a single line with no interior newlines — the NDJSON
+/// framing the query server reads (one batch document per stdin/socket
+/// line). Parses back through `requestsFromJson` like the multi-line form.
+std::string requestsToJsonLine(std::span<const CheckRequest> Requests);
+
+/// A verdicts document for a batch that failed before evaluation (e.g. a
+/// malformed batch line): carries the schema, a top-level `"error"`, and
+/// an empty `"responses"` array — what the server emits instead of dying.
+std::string batchErrorToJson(const std::string &Error);
+
 /// A response batch: `{"schema": "tmw-query-verdicts-v1", "responses":
 /// [...]}`. When \p Telemetry is non-null a trailing `"telemetry"` object
 /// (batch seconds, candidate/check totals, per-worker load) is appended —

@@ -1,0 +1,66 @@
+//===- SessionCache.cpp - Resident parse/resolve caches ------------------------==//
+
+#include "query/SessionCache.h"
+
+#include "models/ModelRegistry.h"
+
+using namespace tmw;
+
+std::shared_ptr<const ParseResult> SessionCache::program(
+    std::string_view Source) {
+  std::string Key(Source);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Programs.find(Key);
+    if (It != Programs.end()) {
+      ++S.ProgramHits;
+      return It->second;
+    }
+    ++S.ProgramMisses;
+  }
+  // Parse outside the lock: batches parse distinct programs concurrently.
+  // Two workers racing on the same source both parse; the results are
+  // identical (parsing is deterministic), so whichever insert lands is
+  // fine and the loser's copy just serves its own request.
+  auto Parsed = std::make_shared<const ParseResult>(parseProgram(Source));
+  std::lock_guard<std::mutex> Lock(Mu);
+  if (Programs.size() >= MaxPrograms) {
+    Programs.clear();
+    ++S.ProgramEvictions;
+  }
+  auto [It, Inserted] = Programs.emplace(std::move(Key), Parsed);
+  S.ProgramsCached = Programs.size();
+  return Inserted ? Parsed : It->second;
+}
+
+std::shared_ptr<const MemoryModel> SessionCache::model(
+    const std::string &Spec, std::string *Error) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Models.find(Spec);
+    if (It != Models.end()) {
+      ++S.ModelHits;
+      return It->second;
+    }
+    ++S.ModelMisses;
+  }
+  std::shared_ptr<const MemoryModel> M = ModelRegistry::parse(Spec, Error);
+  if (!M)
+    return nullptr;
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, Inserted] = Models.emplace(Spec, M);
+  S.ModelsCached = Models.size();
+  return Inserted ? M : It->second;
+}
+
+SessionCache::Stats SessionCache::stats() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  return S;
+}
+
+void SessionCache::clear() {
+  std::lock_guard<std::mutex> Lock(Mu);
+  Programs.clear();
+  Models.clear();
+  S.ProgramsCached = S.ModelsCached = 0;
+}

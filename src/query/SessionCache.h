@@ -1,0 +1,90 @@
+//===- SessionCache.h - Resident parse/resolve caches ----------*- C++ -*-==//
+///
+/// \file
+/// The state a long-lived query session keeps resident across batches so
+/// repeated queries stop paying per-batch setup: parsed `Program`s keyed
+/// by their full DSL source (content-addressed through the map's string
+/// hash — identical source always hits, and an entry can never go stale),
+/// and resolved model-registry specs interned by spec string (models are
+/// immutable after configuration, so one instance is shared freely across
+/// worker threads and batches).
+///
+/// Ownership contract: lookups hand out `shared_ptr`s, so an entry stays
+/// alive for as long as any in-flight request references it — eviction
+/// (or `clear()`) during evaluation is safe. Parse *failures* are cached
+/// too: a long-lived server would otherwise re-parse a repeatedly
+/// submitted bad program from scratch every batch.
+///
+/// The program cache is bounded (`MaxPrograms`); when an insert would
+/// exceed the bound the whole program map is dropped and rebuilt on
+/// demand — crude, but correct under the content-addressed contract
+/// (nothing can be stale, a dropped entry just re-parses), and it keeps
+/// an adversarial stream of unique sources from growing the server
+/// without bound. The model cache is tiny (spec strings) and unbounded.
+///
+/// Thread-safe: one mutex guards both maps; lookups are cheap next to
+/// enumeration, so the lock is uncontended in practice.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_QUERY_SESSIONCACHE_H
+#define TMW_QUERY_SESSIONCACHE_H
+
+#include "litmus/Parser.h"
+#include "models/MemoryModel.h"
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+namespace tmw {
+
+/// Resident caches of one query session (see file comment).
+class SessionCache {
+public:
+  /// Hit/miss accounting, for observability and the cache tests.
+  struct Stats {
+    uint64_t ProgramHits = 0, ProgramMisses = 0;
+    uint64_t ModelHits = 0, ModelMisses = 0;
+    /// Entries currently resident.
+    uint64_t ProgramsCached = 0, ModelsCached = 0;
+    /// Times the bounded program map was dropped wholesale.
+    uint64_t ProgramEvictions = 0;
+  };
+
+  explicit SessionCache(size_t MaxPrograms = kDefaultMaxPrograms)
+      : MaxPrograms(MaxPrograms) {}
+
+  /// Parse-or-fetch \p Source. The result (including a parse failure) is
+  /// cached under the full source text; the returned pointer keeps the
+  /// program alive independently of the cache.
+  std::shared_ptr<const ParseResult> program(std::string_view Source);
+
+  /// Resolve-or-fetch the registry spec \p Spec. Returns nullptr (and
+  /// sets \p Error) for an unresolvable spec; failures are not cached.
+  std::shared_ptr<const MemoryModel> model(const std::string &Spec,
+                                           std::string *Error = nullptr);
+
+  Stats stats() const;
+
+  /// Drop everything (in-flight requests keep their shared_ptrs).
+  void clear();
+
+  static constexpr size_t kDefaultMaxPrograms = 4096;
+
+private:
+  const size_t MaxPrograms;
+  mutable std::mutex Mu;
+  std::unordered_map<std::string, std::shared_ptr<const ParseResult>>
+      Programs;
+  std::unordered_map<std::string, std::shared_ptr<const MemoryModel>>
+      Models;
+  Stats S;
+};
+
+} // namespace tmw
+
+#endif // TMW_QUERY_SESSIONCACHE_H

@@ -1,0 +1,139 @@
+//===- QueryServer.cpp - The long-lived query server ---------------------------==//
+
+#include "server/QueryServer.h"
+
+#include "litmus/Library.h"
+#include "query/QueryIO.h"
+
+#include <istream>
+#include <ostream>
+
+using namespace tmw;
+
+QueryServer::QueryServer(ServerOptions Opts)
+    : Opts(Opts), Cache(Opts.MaxCachedPrograms),
+      Pool(std::max(1u, Opts.Jobs)), Arenas(std::max(1u, Opts.Jobs)) {
+  this->Opts.Jobs = std::max(1u, Opts.Jobs);
+  // Touch the shared corpus now so the first batch doesn't pay its parse.
+  (void)sharedCorpus();
+  // Jobs == 1 serves on the calling thread; otherwise the workers are
+  // born once and live until destruction, parked between batches.
+  if (this->Opts.Jobs > 1) {
+    Threads.reserve(this->Opts.Jobs);
+    for (unsigned W = 0; W < this->Opts.Jobs; ++W)
+      Threads.emplace_back(&QueryServer::workerMain, this, W);
+  }
+}
+
+QueryServer::~QueryServer() {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Stop = true;
+  }
+  CvWork.notify_all();
+  for (std::thread &Th : Threads)
+    Th.join();
+}
+
+void QueryServer::workerMain(unsigned Worker) {
+  uint64_t SeenGen = 0;
+  for (;;) {
+    BatchRun *Batch = nullptr;
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      CvWork.wait(Lock, [&] { return Stop || Gen > SeenGen; });
+      if (Stop)
+        return;
+      SeenGen = Gen;
+      Batch = Current;
+    }
+    // Work until this batch's queue drains; the arena persists in this
+    // worker's slot across batches.
+    Batch->work(Worker, Arenas[Worker]);
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      if (++Arrived == Threads.size())
+        CvDone.notify_one();
+    }
+  }
+}
+
+std::vector<CheckResponse>
+QueryServer::runBatch(std::span<const CheckRequest> Requests,
+                      BatchTelemetry *Telemetry) {
+  // Re-arm the resident pool (deques survive, allocations amortise) and
+  // stage the batch. Verdicts are identical to a one-shot engine run:
+  // same BatchRun, same per-request evaluation, caches verdict-neutral.
+  Pool.reset();
+  BatchRun Batch(Requests, Pool, &Cache);
+
+  if (Threads.empty()) {
+    Batch.work(0, Arenas[0]);
+  } else {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Current = &Batch;
+      Arrived = 0;
+      ++Gen;
+    }
+    CvWork.notify_all();
+    {
+      std::unique_lock<std::mutex> Lock(Mu);
+      CvDone.wait(Lock, [&] { return Arrived == Threads.size(); });
+      Current = nullptr;
+    }
+  }
+
+  BatchTelemetry T;
+  std::vector<CheckResponse> Responses = Batch.take(T);
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.Batches;
+    S.Requests += Requests.size();
+  }
+  if (Telemetry)
+    *Telemetry = std::move(T);
+  return Responses;
+}
+
+std::string QueryServer::serveLine(std::string_view Line) {
+  std::vector<CheckRequest> Requests;
+  std::string Error;
+  if (!requestsFromJson(std::string(Line), Requests, &Error)) {
+    // Hardening contract: a malformed batch answers with an error
+    // document; the session (caches, pool, later batches) lives on.
+    std::lock_guard<std::mutex> Lock(Mu);
+    ++S.BadBatches;
+    return batchErrorToJson("batch parse error: " + Error);
+  }
+  BatchTelemetry T;
+  std::vector<CheckResponse> Responses = runBatch(Requests, &T);
+  return responsesToJson(Responses, Opts.Telemetry ? &T : nullptr);
+}
+
+void QueryServer::serveStream(std::istream &In, std::ostream &Out) {
+  std::string Line;
+  while (std::getline(In, Line)) {
+    // Skip blank keep-alive lines rather than answering them with a
+    // parse-error document.
+    if (Line.find_first_not_of(" \t\r") == std::string::npos)
+      continue;
+    Out << serveLine(Line);
+    Out.flush();
+    // A dead sink (client closed its read end) ends the session: keep
+    // evaluating corpus-scale batches nobody receives and the server
+    // burns CPU until stdin EOF.
+    if (!Out)
+      break;
+  }
+}
+
+ServerStats QueryServer::stats() const {
+  ServerStats Out;
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    Out = S;
+  }
+  Out.Cache = Cache.stats();
+  return Out;
+}

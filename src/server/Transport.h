@@ -1,0 +1,46 @@
+//===- Transport.h - Server transports (stdio, Unix socket) -----*- C++ -*-==//
+///
+/// \file
+/// The byte-moving side of the query server: the NDJSON stdin/stdout loop
+/// (the default, pipeline-friendly: `printf '%s\n' <batch> | tmw_serve`)
+/// and a Unix-domain stream socket (`--listen <path>`) for callers that
+/// keep a connection open across many batches. Both speak the same frame:
+/// one `tmw-query-batch-v1` document per line in, one
+/// `tmw-query-verdicts-v1` document out per batch.
+///
+/// Socket connections are served serially — the parallelism budget
+/// (`--jobs`) belongs to the batch evaluation, and verdict byte-
+/// determinism is per batch, so interleaving connections would buy
+/// nothing and cost output interleaving hazards.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef TMW_SERVER_TRANSPORT_H
+#define TMW_SERVER_TRANSPORT_H
+
+#include <string>
+
+namespace tmw {
+
+class QueryServer;
+
+namespace server {
+
+/// Serve newline-delimited batches from stdin to stdout until EOF.
+/// Returns 0.
+int serveStdio(QueryServer &S);
+
+/// Bind a Unix-domain stream socket at \p Path (an existing socket file
+/// is replaced) and serve connections one at a time: each connection
+/// streams batch lines and receives one verdicts document per batch,
+/// until the peer shuts down its write side. \p AcceptLimit bounds the
+/// number of connections served (0 = loop until the process dies — the
+/// daemon mode). Returns 0 on a clean finish, 1 on socket errors (one
+/// diagnostic line on stderr).
+int serveUnixSocket(QueryServer &S, const std::string &Path,
+                    unsigned AcceptLimit = 0);
+
+} // namespace server
+} // namespace tmw
+
+#endif // TMW_SERVER_TRANSPORT_H

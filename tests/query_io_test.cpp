@@ -220,6 +220,110 @@ TEST(Json, ParserErrors) {
   EXPECT_EQ(A->Arr[4].Str, "sA");
 }
 
+TEST(Json, IntegerFidelity) {
+  // The integer-preserving token path: u64-range integers survive a
+  // parse exactly instead of being rounded through a double.
+  std::string Error;
+
+  // 2^53 + 1 is the first integer a double cannot hold; the exact path
+  // must, on both keyed and value-level accessors.
+  std::optional<JsonValue> V =
+      parseJson("{\"cap\": 9007199254740993}", &Error);
+  ASSERT_TRUE(V.has_value()) << Error;
+  EXPECT_EQ(V->getUint("cap"), 9007199254740993ull);
+  EXPECT_EQ(V->get("cap")->asUint(), std::optional<uint64_t>(9007199254740993ull));
+  EXPECT_EQ(V->get("cap")->asInt(), std::optional<int64_t>(9007199254740993ll));
+
+  // The u64 extremes round-trip; INT64_MIN takes the signed path.
+  V = parseJson("{\"a\": 18446744073709551615, \"b\": -9223372036854775808}");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->getUint("a"), UINT64_MAX);
+  EXPECT_EQ(V->getInt("b"), INT64_MIN);
+  EXPECT_FALSE(V->get("a")->asInt().has_value());  // > INT64_MAX
+  EXPECT_FALSE(V->get("b")->asUint().has_value()); // negative
+
+  // Non-integer forms are *rejected* by the integer accessors (default
+  // returned), never rounded: fractions, exponent forms — even ones that
+  // happen to denote integers — and 64-bit overflows.
+  V = parseJson("{\"f\": 1.5, \"e\": 1e3, \"E\": 9.007199254740993e15, "
+                "\"big\": 18446744073709551616, "
+                "\"neg\": -9223372036854775809}");
+  ASSERT_TRUE(V.has_value());
+  for (const char *Key : {"f", "e", "E", "big", "neg"}) {
+    EXPECT_EQ(V->getUint(Key, 77), 77u) << Key;
+    EXPECT_EQ(V->getInt(Key, -77), -77) << Key;
+  }
+  // ... while getNumber still reads them as doubles (tolerant path).
+  EXPECT_EQ(V->getNumber("e"), 1000.0);
+
+  // -0 is a plain integer token with value zero, not a rejection.
+  V = parseJson("{\"z\": -0}");
+  ASSERT_TRUE(V.has_value());
+  EXPECT_EQ(V->getInt("z", 77), 0);
+  EXPECT_EQ(V->getUint("z", 77), 0u);
+
+  // Out-of-double-range literals stay parse errors, not infinities.
+  EXPECT_FALSE(parseJson("1e309", &Error).has_value());
+  EXPECT_FALSE(parseJson("-1e309", &Error).has_value());
+}
+
+TEST(QueryIO, U64FieldsRoundTripExactly) {
+  // End to end through the wire form: counts and caps above 2^53 and the
+  // first_forbidden sentinel survive parse → serialise byte-for-byte.
+  CheckRequest R;
+  R.Name = "big";
+  R.Corpus = "SB";
+  R.CandidateCap = 9007199254740993ull; // 2^53 + 1
+  std::string Json = toJson(R);
+  std::vector<CheckRequest> Back;
+  std::string Error;
+  ASSERT_TRUE(requestsFromJson(Json, Back, &Error)) << Error;
+  ASSERT_EQ(Back.size(), 1u);
+  EXPECT_EQ(Back[0].CandidateCap, 9007199254740993ull);
+  EXPECT_EQ(toJson(Back[0]), Json);
+
+  CheckResponse Resp;
+  Resp.Name = "big";
+  Resp.Candidates = UINT64_MAX;
+  ModelVerdict V;
+  V.Spec = "x86";
+  V.Consistent = 9007199254740995ull;
+  V.FirstForbidden = 9007199254740997ll;
+  Resp.Verdicts.push_back(V);
+  std::string RJson = toJson(Resp);
+  std::vector<CheckResponse> RBack;
+  ASSERT_TRUE(responsesFromJson(RJson, RBack, &Error)) << Error;
+  ASSERT_EQ(RBack.size(), 1u);
+  EXPECT_EQ(RBack[0].Candidates, UINT64_MAX);
+  EXPECT_EQ(RBack[0].Verdicts[0].Consistent, 9007199254740995ull);
+  EXPECT_EQ(RBack[0].Verdicts[0].FirstForbidden, 9007199254740997ll);
+  EXPECT_EQ(toJson(RBack[0]), RJson);
+}
+
+TEST(QueryIO, SingleLineBatchForm) {
+  // The NDJSON framing the server reads: no interior newlines, parses
+  // back to the same batch as the multi-line form.
+  std::vector<CheckRequest> Requests = {sampleRequest(), CheckRequest{}};
+  Requests[1].Corpus = "SB";
+  std::string Line = requestsToJsonLine(Requests);
+  EXPECT_EQ(Line.find('\n'), std::string::npos);
+  std::vector<CheckRequest> Back;
+  std::string Error;
+  ASSERT_TRUE(requestsFromJson(Line, Back, &Error)) << Error;
+  ASSERT_EQ(Back.size(), 2u);
+  EXPECT_EQ(requestsToJson(Back), requestsToJson(Requests));
+
+  // The batch-error document is schema'd, parseable, and empty.
+  std::string Err = batchErrorToJson("batch parse error: boom \"quoted\"");
+  std::optional<JsonValue> V = parseJson(Err, &Error);
+  ASSERT_TRUE(V.has_value()) << Error;
+  EXPECT_EQ(V->getString("schema"), "tmw-query-verdicts-v1");
+  EXPECT_EQ(V->getString("error"), "batch parse error: boom \"quoted\"");
+  std::vector<CheckResponse> None;
+  ASSERT_TRUE(responsesFromJson(Err, None, &Error)) << Error;
+  EXPECT_TRUE(None.empty());
+}
+
 TEST(Json, QuoteEscapes) {
   EXPECT_EQ(jsonQuote("plain"), "\"plain\"");
   EXPECT_EQ(jsonQuote("a\"b\\c\nd\te"), "\"a\\\"b\\\\c\\nd\\te\"");
