@@ -13,11 +13,16 @@
 ///
 /// Flags:
 ///   --model <spec>   check against this model instead of the default six.
-///                    Repeatable. <spec> follows the registry grammar
-///                    (ModelRegistry.h): an architecture or hardware-
-///                    substitute name optionally followed by "/"-separated
-///                    ablation modifiers — "x86", "power/-TxnOrder",
-///                    "cpp/+baseline", "power8", "armv8-rtl", "x86-impl".
+///                    Repeatable, and <spec> may be a comma-separated
+///                    list ("sc,tsc,x86"); repeated flags and list
+///                    entries accumulate in order. Each spec follows the
+///                    registry grammar (ModelRegistry.h): an architecture
+///                    or hardware-substitute name optionally followed by
+///                    "/"-separated ablation modifiers — "x86",
+///                    "power/-TxnOrder", "cpp/+baseline", "power8",
+///                    "armv8-rtl", "x86-impl". Parsing is strict: an
+///                    unknown spec anywhere in any list exits 2 after
+///                    diagnosing every bad spec (not just the first).
 ///   --corpus         add every test of the built-in litmus corpus
 ///                    (litmus/Library.h) to the batch.
 ///   --json           emit the canonical batch JSON (query/QueryIO.h) on
@@ -29,8 +34,14 @@
 ///   --outcomes       collect each model's allowed outcome set.
 ///   --jobs N         evaluate the batch on N work-stealing pool workers.
 ///   --cap N          stop each program's enumeration after N candidates.
-///   --telemetry      append batch timing + per-worker load to the JSON
-///                    (forfeits cross-jobs byte-determinism).
+///   --telemetry      append batch timing + per-worker load + plan
+///                    accounting to the JSON (forfeits cross-jobs
+///                    byte-determinism).
+///   --eval <s>       candidate evaluation strategy: "planned" (default;
+///                    one cross-spec evaluation plan per spec set) or
+///                    "independent" (reference per-model loop). The
+///                    canonical JSON is byte-identical either way — the
+///                    flag exists so CI can prove it with cmp.
 ///
 /// Exit status: 0 on success, 1 when any request failed (e.g. a DSL parse
 /// error — reported as a one-line `file:line: message` diagnostic), 2 on
@@ -134,6 +145,26 @@ bool parseCap(const char *Value, uint64_t &Out) {
   return Ec == std::errc() && P == End && Value != End;
 }
 
+/// Split one `--model` value on commas into \p Specs. Strict: an empty
+/// segment (leading/trailing/double comma, or an empty value) is a usage
+/// error — it would otherwise vanish silently, and "sc,,x86" is far more
+/// likely a typo'd third spec than an intentional no-op.
+bool splitModelList(const char *Value, std::vector<std::string> &Specs) {
+  const char *Seg = Value;
+  for (const char *P = Value;; ++P) {
+    if (*P != ',' && *P != '\0')
+      continue;
+    if (P == Seg) {
+      std::fprintf(stderr, "error: --model %s: empty spec in list\n", Value);
+      return false;
+    }
+    Specs.emplace_back(Seg, P);
+    if (*P == '\0')
+      return true;
+    Seg = P + 1;
+  }
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -143,13 +174,36 @@ int main(int Argc, char **Argv) {
   bool Telemetry = false;
   unsigned Jobs = 1;
   uint64_t Cap = 0;
+  EvalStrategy Strategy = EvalStrategy::Planned;
+  auto ParseEval = [&](const char *Value) {
+    if (std::strcmp(Value, "planned") == 0) {
+      Strategy = EvalStrategy::Planned;
+      return true;
+    }
+    if (std::strcmp(Value, "independent") == 0) {
+      Strategy = EvalStrategy::Independent;
+      return true;
+    }
+    std::fprintf(stderr,
+                 "error: --eval %s: expected 'planned' or 'independent'\n",
+                 Value);
+    return false;
+  };
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
     if (std::strcmp(A, "--model") == 0 && I + 1 < Argc) {
-      ModelSpecs.push_back(Argv[++I]);
+      if (!splitModelList(Argv[++I], ModelSpecs))
+        return 2;
     } else if (std::strncmp(A, "--model=", 8) == 0) {
-      ModelSpecs.push_back(A + 8);
+      if (!splitModelList(A + 8, ModelSpecs))
+        return 2;
+    } else if (std::strcmp(A, "--eval") == 0 && I + 1 < Argc) {
+      if (!ParseEval(Argv[++I]))
+        return 2;
+    } else if (std::strncmp(A, "--eval=", 7) == 0) {
+      if (!ParseEval(A + 7))
+        return 2;
     } else if (std::strcmp(A, "--corpus") == 0) {
       Corpus = true;
     } else if (std::strcmp(A, "--json") == 0) {
@@ -188,15 +242,19 @@ int main(int Argc, char **Argv) {
 
   // Robustness: reject bad model specs before doing any work, with the
   // registry's one-line diagnostic (names the offending token and the
-  // alternatives).
+  // alternatives). Every bad spec is diagnosed — a long comma-separated
+  // list with two typos gets both named in one run, not one per rerun.
+  int BadSpecs = 0;
   for (const std::string &Spec : ModelSpecs) {
     std::string Error;
     if (!ModelRegistry::parse(Spec, &Error)) {
       std::fprintf(stderr, "error: --model %s: %s\n", Spec.c_str(),
                    Error.c_str());
-      return 2;
+      ++BadSpecs;
     }
   }
+  if (BadSpecs)
+    return 2;
 
   // Assemble the batch: one request per file, plus the corpus, plus the
   // demo when nothing else was given. FileOf tracks provenance for
@@ -242,7 +300,7 @@ int main(int Argc, char **Argv) {
     Add(std::move(R), "");
   }
 
-  QueryEngine Engine({Jobs});
+  QueryEngine Engine({.Jobs = Jobs, .Strategy = Strategy});
   int Failed = 0;
 
   if (Json) {

@@ -25,7 +25,8 @@
 ///                         verdicts document (forfeits byte-identity with
 ///                         one-shot runs).
 ///   --stats               print session counters (batches, cache hits,
-///                         evictions) to stderr at EOF.
+///                         evictions, resident evaluation plans) to
+///                         stderr at EOF.
 ///   --print-corpus-batch  emit the built-in corpus as one batch line —
 ///                         the requests `litmus_tool --corpus --json`
 ///                         evaluates — and exit; pipe it back into a
@@ -115,7 +116,8 @@ int main(int Argc, char **Argv) {
     std::fprintf(stderr,
                  "tmw_serve: %llu batches (%llu bad), %llu requests; "
                  "program cache %llu hits / %llu misses (%llu resident, "
-                 "%llu evictions); model cache %llu hits / %llu misses\n",
+                 "%llu evictions); model cache %llu hits / %llu misses; "
+                 "plan cache %llu hits / %llu misses (%llu resident)\n",
                  static_cast<unsigned long long>(St.Batches),
                  static_cast<unsigned long long>(St.BadBatches),
                  static_cast<unsigned long long>(St.Requests),
@@ -124,7 +126,10 @@ int main(int Argc, char **Argv) {
                  static_cast<unsigned long long>(St.Cache.ProgramsCached),
                  static_cast<unsigned long long>(St.Cache.ProgramEvictions),
                  static_cast<unsigned long long>(St.Cache.ModelHits),
-                 static_cast<unsigned long long>(St.Cache.ModelMisses));
+                 static_cast<unsigned long long>(St.Cache.ModelMisses),
+                 static_cast<unsigned long long>(St.Cache.PlanHits),
+                 static_cast<unsigned long long>(St.Cache.PlanMisses),
+                 static_cast<unsigned long long>(St.Cache.PlansCached));
   }
   return Exit;
 }

@@ -19,8 +19,9 @@ ImplModel::ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
     : Spec(std::move(Spec)), Label(Name), Token(SpecToken) {
   AxiomList SpecAxioms = this->Spec->axioms();
   Axioms.assign(SpecAxioms.begin(), SpecAxioms.end());
-  Axioms.push_back(
-      {"NoLoadBuffering(impl)", AxiomKind::Acyclic, noLoadBuffering});
+  Axioms.push_back({"NoLoadBuffering(impl)", AxiomKind::Acyclic,
+                    noLoadBuffering, /*Tm=*/false, /*Modifier=*/false,
+                    /*Salt=*/0});
   // Inherit the spec's configuration; the appended implementation axiom
   // sits past the spec's indices, so the spec's term functions keep
   // reading their own bits.

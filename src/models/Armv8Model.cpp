@@ -74,19 +74,27 @@ Relation txnOrder(const ExecutionAnalysis &A, AxiomMask M) {
   return strongLift(ob(A, M), A.stxn());
 }
 
-Relation txnCancelsRmw(const ExecutionAnalysis &A, AxiomMask) {
-  return A.rmw() & A.tfence().transitiveClosure();
-}
+/// Mask bits the ob-derived terms read (the salt annotation of Axiom.h).
+constexpr uint32_t kObSalt = 1u << kTfence;
 
+// Axiom salts: only the ob-derived terms read the mask (its tfence bit).
+// TxnCancelsRMW is the shared `terms::txnCancelsRmw` (one definition with
+// Power, and the guard term of the cross-arch hierarchy edges).
 const Axiom Armv8Axioms[] = {
-    {"Coherence", AxiomKind::Acyclic, terms::coherence},
+    {"Coherence", AxiomKind::Acyclic, terms::coherence, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/0},
     {"tfence", AxiomKind::Acyclic, terms::tfence, /*Tm=*/true,
-     /*Modifier=*/true},
-    {"Order", AxiomKind::Acyclic, ob},
-    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation},
-    {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true},
-    {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true},
-    {"TxnCancelsRMW", AxiomKind::Empty, txnCancelsRmw, /*Tm=*/true},
+     /*Modifier=*/true, /*Salt=*/0},
+    {"Order", AxiomKind::Acyclic, ob, /*Tm=*/false, /*Modifier=*/false,
+     /*Salt=*/kObSalt},
+    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/0},
+    {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/0},
+    {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/kObSalt},
+    {"TxnCancelsRMW", AxiomKind::Empty, terms::txnCancelsRmw, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/0},
 };
 
 } // namespace

@@ -110,6 +110,16 @@ struct Axiom {
   /// Contributes its term to other axioms' compound relations instead of
   /// being checked on its own (see file comment).
   bool Modifier = false;
+  /// The mask bits `Term` reads (directly or through sub-terms): two
+  /// invocations whose masks agree on these bits return the same relation.
+  /// This is the *term identity* contract the cross-spec evaluation plan
+  /// (models/EvalPlan.h) hash-conses on — `(Term, Mask.bits() & Salt)`
+  /// keys one obligation shared by every spec that needs it — and it must
+  /// be a superset of every memoization salt the term passes to
+  /// `ExecutionAnalysis::memoTerm`. The default claims dependence on the
+  /// whole mask, which is always safe and merely forfeits sharing; tables
+  /// annotate the real footprint explicitly.
+  uint32_t Salt = ~uint32_t(0);
 };
 
 /// A model's axiom list: a view of its static table.
@@ -117,6 +127,10 @@ using AxiomList = std::span<const Axiom>;
 
 /// Index of the axiom named \p Name in \p Axioms, or -1. Exact match.
 int findAxiom(AxiomList Axioms, std::string_view Name);
+
+/// Evaluate one constraint kind over a term relation — the judgement the
+/// generic check engine and the cross-spec evaluation plan share.
+bool axiomHolds(AxiomKind K, const Relation &Term);
 
 /// The baseline mask over \p Axioms: every TM axiom disabled.
 AxiomMask baselineMask(AxiomList Axioms);

@@ -68,12 +68,19 @@ Relation seqCst(const ExecutionAnalysis &A, AxiomMask M) {
   return psc(A, M);
 }
 
+// Axiom salts (Axiom.h): the hb-derived terms (HbCom, SeqCst via psc)
+// read only the Tsw bit — the same footprint `kHbSalt` hands to memoTerm.
 const Axiom CppAxioms[] = {
-    {"Tsw", AxiomKind::Acyclic, tswTerm, /*Tm=*/true, /*Modifier=*/true},
-    {"HbCom", AxiomKind::Irreflexive, hbCom},
-    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation},
-    {"NoThinAir", AxiomKind::Acyclic, noThinAir},
-    {"SeqCst", AxiomKind::Acyclic, seqCst},
+    {"Tsw", AxiomKind::Acyclic, tswTerm, /*Tm=*/true, /*Modifier=*/true,
+     /*Salt=*/0},
+    {"HbCom", AxiomKind::Irreflexive, hbCom, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/kHbSalt},
+    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/0},
+    {"NoThinAir", AxiomKind::Acyclic, noThinAir, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/0},
+    {"SeqCst", AxiomKind::Acyclic, seqCst, /*Tm=*/false, /*Modifier=*/false,
+     /*Salt=*/kHbSalt},
 };
 
 } // namespace

@@ -59,9 +59,7 @@ bool MemoryModel::anyTmEnabled() const {
   return false;
 }
 
-namespace {
-
-bool axiomHolds(AxiomKind K, const Relation &Term) {
+bool tmw::axiomHolds(AxiomKind K, const Relation &Term) {
   switch (K) {
   case AxiomKind::Acyclic:
     return Term.isAcyclic();
@@ -72,6 +70,8 @@ bool axiomHolds(AxiomKind K, const Relation &Term) {
   }
   return true;
 }
+
+namespace {
 
 EventSet witnessOf(AxiomKind K, const Relation &Term) {
   switch (K) {
@@ -139,6 +139,10 @@ Relation tmw::terms::strongIsolation(const ExecutionAnalysis &A,
 
 Relation tmw::terms::tfence(const ExecutionAnalysis &A, AxiomMask) {
   return A.tfence();
+}
+
+Relation tmw::terms::txnCancelsRmw(const ExecutionAnalysis &A, AxiomMask) {
+  return A.rmw() & A.tfence().transitiveClosure();
 }
 
 const char *tmw::archName(Arch A) {

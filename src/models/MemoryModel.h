@@ -135,6 +135,10 @@ Relation rmwIsolation(const ExecutionAnalysis &A, AxiomMask);
 Relation strongIsolation(const ExecutionAnalysis &A, AxiomMask);
 /// The implicit transaction fences (the `tfence` modifier's term).
 Relation tfence(const ExecutionAnalysis &A, AxiomMask);
+/// rmw n tfence+ — an exclusive pair straddling a transaction boundary
+/// (the failure semantics Power and ARMv8 share, and the guard of the
+/// cross-arch hierarchy edges in models/EvalPlan.h).
+Relation txnCancelsRmw(const ExecutionAnalysis &A, AxiomMask);
 } // namespace terms
 
 /// WeakIsol (§3.3): acyclic(weaklift(com, stxn)).

@@ -159,26 +159,36 @@ Relation txnOrder(const ExecutionAnalysis &A, AxiomMask M) {
   return strongLift(hb(A, M), A.stxn());
 }
 
-Relation txnCancelsRmw(const ExecutionAnalysis &A, AxiomMask) {
-  return A.rmw() & A.tfence().transitiveClosure();
-}
-
+// Axiom salts (Axiom.h): the hb-derived terms read {tfence, thb}; the
+// prop-derived terms additionally read {tprop1, tprop2} — the same
+// footprints handed to memoTerm above. Everything else ignores the mask.
+// TxnCancelsRMW is the shared `terms::txnCancelsRmw` (one definition with
+// ARMv8, and the guard term of the cross-arch hierarchy edges).
 const Axiom PowerAxioms[] = {
-    {"Coherence", AxiomKind::Acyclic, terms::coherence},
-    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation},
+    {"Coherence", AxiomKind::Acyclic, terms::coherence, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/0},
+    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/0},
     {"tfence", AxiomKind::Acyclic, terms::tfence, /*Tm=*/true,
-     /*Modifier=*/true},
-    {"thb", AxiomKind::Acyclic, thbTerm, /*Tm=*/true, /*Modifier=*/true},
-    {"Order", AxiomKind::Acyclic, order},
+     /*Modifier=*/true, /*Salt=*/0},
+    {"thb", AxiomKind::Acyclic, thbTerm, /*Tm=*/true, /*Modifier=*/true,
+     /*Salt=*/kHbSalt},
+    {"Order", AxiomKind::Acyclic, order, /*Tm=*/false, /*Modifier=*/false,
+     /*Salt=*/kHbSalt},
     {"tprop1", AxiomKind::Acyclic, tprop1Term, /*Tm=*/true,
-     /*Modifier=*/true},
+     /*Modifier=*/true, /*Salt=*/0},
     {"tprop2", AxiomKind::Acyclic, tprop2Term, /*Tm=*/true,
-     /*Modifier=*/true},
-    {"Propagation", AxiomKind::Acyclic, propagation},
-    {"Observation", AxiomKind::Irreflexive, observation},
-    {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true},
-    {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true},
-    {"TxnCancelsRMW", AxiomKind::Empty, txnCancelsRmw, /*Tm=*/true},
+     /*Modifier=*/true, /*Salt=*/0},
+    {"Propagation", AxiomKind::Acyclic, propagation, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/kPropSalt},
+    {"Observation", AxiomKind::Irreflexive, observation, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/kPropSalt},
+    {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/0},
+    {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/kHbSalt},
+    {"TxnCancelsRMW", AxiomKind::Empty, terms::txnCancelsRmw, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/0},
 };
 
 } // namespace

@@ -14,13 +14,20 @@ Relation tscTxnOrder(const ExecutionAnalysis &A, AxiomMask M) {
   return strongLift(scHb(A, M), A.stxn());
 }
 
+// Salts declare the mask bits each term reads (Axiom.h): every SC/TSC
+// term ignores the mask, so all salts are 0 and the eval plan shares the
+// terms across every configuration — and across the two tables, which
+// reference the same `scHb` function.
 const Axiom ScAxioms[] = {
-    {"Order", AxiomKind::Acyclic, scHb},
+    {"Order", AxiomKind::Acyclic, scHb, /*Tm=*/false, /*Modifier=*/false,
+     /*Salt=*/0},
 };
 
 const Axiom TscAxioms[] = {
-    {"Order", AxiomKind::Acyclic, scHb},
-    {"TxnOrder", AxiomKind::Acyclic, tscTxnOrder, /*Tm=*/true},
+    {"Order", AxiomKind::Acyclic, scHb, /*Tm=*/false, /*Modifier=*/false,
+     /*Salt=*/0},
+    {"TxnOrder", AxiomKind::Acyclic, tscTxnOrder, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/0},
 };
 
 } // namespace

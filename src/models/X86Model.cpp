@@ -46,14 +46,21 @@ Relation txnOrder(const ExecutionAnalysis &A, AxiomMask M) {
   return strongLift(hb(A, M), A.stxn());
 }
 
+// Axiom salts (Axiom.h): only the hb-derived terms read the mask, and
+// only its tfence bit — the same footprint `kHbSalt` hands to memoTerm.
 const Axiom X86Axioms[] = {
-    {"Coherence", AxiomKind::Acyclic, terms::coherence},
-    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation},
+    {"Coherence", AxiomKind::Acyclic, terms::coherence, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/0},
+    {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation, /*Tm=*/false,
+     /*Modifier=*/false, /*Salt=*/0},
     {"tfence", AxiomKind::Acyclic, terms::tfence, /*Tm=*/true,
-     /*Modifier=*/true},
-    {"Order", AxiomKind::Acyclic, hb},
-    {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true},
-    {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true},
+     /*Modifier=*/true, /*Salt=*/0},
+    {"Order", AxiomKind::Acyclic, hb, /*Tm=*/false, /*Modifier=*/false,
+     /*Salt=*/kHbSalt},
+    {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/0},
+    {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true,
+     /*Modifier=*/false, /*Salt=*/kHbSalt},
 };
 
 } // namespace

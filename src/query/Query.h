@@ -91,6 +91,30 @@ struct ModelVerdict {
   std::vector<Outcome> AllowedOutcomes;
 };
 
+/// Accounting of the cross-spec evaluation plan (models/EvalPlan.h) —
+/// how much work sharing and subsumption saved. Not part of the canonical
+/// JSON form: planned and independent evaluation must stay byte-identical
+/// there, and these numbers are exactly what differs between them. Only
+/// the opt-in telemetry appendix reports them.
+struct PlanStats {
+  /// Obligations computed / served from the per-candidate verdict cache.
+  uint64_t TermEvals = 0, TermHits = 0;
+  /// Specs evaluated through their obligations / decided by subsumption.
+  uint64_t SpecEvals = 0, SpecShortCircuits = 0;
+  /// Plans compiled / served from the resident session cache.
+  uint64_t Compiles = 0, CacheHits = 0;
+
+  PlanStats &operator+=(const PlanStats &O) {
+    TermEvals += O.TermEvals;
+    TermHits += O.TermHits;
+    SpecEvals += O.SpecEvals;
+    SpecShortCircuits += O.SpecShortCircuits;
+    Compiles += O.Compiles;
+    CacheHits += O.CacheHits;
+    return *this;
+  }
+};
+
 /// The engine's answer to one `CheckRequest`.
 struct CheckResponse {
   /// Request name (or the parsed program's name when the request left it
@@ -110,6 +134,9 @@ struct CheckResponse {
   /// Wall-clock seconds spent on this request (not part of the canonical
   /// JSON form — it would break cross-jobs byte-determinism).
   double Seconds = 0;
+  /// Plan accounting for this request (zero under independent
+  /// evaluation); like `Seconds`, not part of the canonical JSON form.
+  PlanStats Plan;
 
   explicit operator bool() const { return Error.empty(); }
 };
@@ -121,6 +148,8 @@ struct BatchTelemetry {
   /// Total candidates enumerated / model checks performed across the
   /// batch.
   uint64_t Candidates = 0, Checks = 0;
+  /// Plan accounting summed over the batch's requests.
+  PlanStats Plan;
   /// Per-worker pool load; `BasesVisited` counts candidates here.
   std::vector<WorkerLoad> Workers;
 };

@@ -5,6 +5,7 @@
 #include "enumerate/Candidates.h"
 #include "litmus/Library.h"
 #include "litmus/Parser.h"
+#include "models/EvalPlan.h"
 #include "models/ModelRegistry.h"
 #include "query/SessionCache.h"
 
@@ -27,9 +28,13 @@ double secondsSince(TimePoint Start) {
 /// (created on first use, retargeted per candidate — the same arena
 /// discipline as the synthesis workers). \p Cache, when set, supplies
 /// interned models and cached parses; it never changes the response.
+/// \p PlanCache is the cache consulted for compiled evaluation plans —
+/// the session cache when one is attached, else a batch-local one (or
+/// nullptr: compile per request).
 CheckResponse evaluateRequest(const CheckRequest &R,
                               std::optional<ExecutionAnalysis> &Arena,
-                              SessionCache *Cache) {
+                              SessionCache *Cache, EvalStrategy Strategy,
+                              SessionCache *PlanCache) {
   TimePoint T0 = std::chrono::steady_clock::now();
   CheckResponse Resp;
   Resp.Name = R.Name;
@@ -103,6 +108,35 @@ CheckResponse evaluateRequest(const CheckRequest &R,
   for (size_t M = 0; M < Models.size(); ++M)
     Resp.Verdicts[M].Spec = ModelRegistry::print(*Models[M]);
 
+  // Planned strategy: compile (or fetch) the spec set's cross-spec
+  // evaluation plan. Keyed by the canonical printed specs, so any
+  // spelling of the same resolved set shares one plan.
+  std::shared_ptr<const EvalPlan> CachedPlan;
+  EvalPlan LocalPlan;
+  const EvalPlan *Plan = nullptr;
+  EvalPlan::Scratch Scratch;
+  if (Strategy == EvalStrategy::Planned) {
+    std::vector<const MemoryModel *> Raw(Models.size());
+    for (size_t M = 0; M < Models.size(); ++M)
+      Raw[M] = Models[M].get();
+    if (PlanCache) {
+      std::string Key;
+      for (const ModelVerdict &V : Resp.Verdicts) {
+        Key += V.Spec;
+        Key += '\n';
+      }
+      bool Hit = false;
+      CachedPlan = PlanCache->plan(Key, Raw, &Hit);
+      Plan = CachedPlan.get();
+      (Hit ? Resp.Plan.CacheHits : Resp.Plan.Compiles) = 1;
+    } else {
+      LocalPlan = EvalPlan::compile(Raw);
+      Plan = &LocalPlan;
+      Resp.Plan.Compiles = 1;
+    }
+    Scratch = Plan->makeScratch();
+  }
+
   // Enumerate the candidates ONCE; fan each one out to every model over
   // one shared analysis, so derived relations (fr, com, fences, ...) are
   // computed once per candidate, not once per (candidate, model).
@@ -118,9 +152,13 @@ CheckResponse evaluateRequest(const CheckRequest &R,
     else
       Arena->reset(C.X);
     bool Satisfies = C.O.satisfies(*P);
+    if (Plan)
+      Plan->evaluate(*Arena, Scratch);
     for (size_t M = 0; M < Models.size(); ++M) {
       ModelVerdict &V = Resp.Verdicts[M];
-      if (Models[M]->consistent(*Arena)) {
+      bool Consistent =
+          Plan ? Scratch.consistent(M) : Models[M]->consistent(*Arena);
+      if (Consistent) {
         ++V.Consistent;
         V.Allowed |= Satisfies;
         if (R.WantOutcomes)
@@ -133,6 +171,14 @@ CheckResponse evaluateRequest(const CheckRequest &R,
     }
     return true;
   });
+
+  if (Plan) {
+    const EvalPlan::Counters &PC = Scratch.counters();
+    Resp.Plan.TermEvals = PC.TermEvals;
+    Resp.Plan.TermHits = PC.TermHits;
+    Resp.Plan.SpecEvals = PC.SpecEvals;
+    Resp.Plan.SpecShortCircuits = PC.SpecShortCircuits;
+  }
 
   if (R.Explain)
     for (size_t M = 0; M < Models.size(); ++M) {
@@ -171,10 +217,14 @@ CheckResponse evaluateRequest(const CheckRequest &R,
 
 BatchRun::BatchRun(std::span<const CheckRequest> Requests,
                    WorkQueue<size_t> &Q, SessionCache *Cache,
-                   std::function<void(const CheckResponse &)> OnResult)
+                   std::function<void(const CheckResponse &)> OnResult,
+                   EvalStrategy Strategy)
     : Requests(Requests), Q(Q), Cache(Cache), OnResult(std::move(OnResult)),
-      Results(Requests.size()), Done(Requests.size(), 0),
+      Strategy(Strategy), Results(Requests.size()), Done(Requests.size(), 0),
       Loads(Q.numWorkers()), T0(std::chrono::steady_clock::now()) {
+  // Cache-less planned batches still plan each distinct spec set once.
+  if (!Cache && Strategy == EvalStrategy::Planned)
+    BatchPlans.emplace();
   // One monolithic task per request: the pool acts as a balanced
   // distributor with stealing.
   for (size_t I = 0; I < Requests.size(); ++I)
@@ -189,7 +239,9 @@ void BatchRun::work(unsigned Worker,
     TimePoint S0 = std::chrono::steady_clock::now();
     ++Loads[Worker].Tasks;
     Loads[Worker].Steals += Stolen;
-    Results[I] = evaluateRequest(Requests[I], Arena, Cache);
+    Results[I] = evaluateRequest(Requests[I], Arena, Cache, Strategy,
+                                 Cache ? Cache : (BatchPlans ? &*BatchPlans
+                                                             : nullptr));
     Loads[Worker].BasesVisited += Results[I].Candidates;
     Loads[Worker].BusySeconds += secondsSince(S0);
     {
@@ -212,6 +264,7 @@ std::vector<CheckResponse> BatchRun::take(BatchTelemetry &T) {
   for (const CheckResponse &R : Results) {
     T.Candidates += R.Candidates;
     T.Checks += R.Candidates * R.Verdicts.size();
+    T.Plan += R.Plan;
   }
   T.Workers = std::move(Loads);
   T.Seconds = secondsSince(T0);
@@ -220,7 +273,7 @@ std::vector<CheckResponse> BatchRun::take(BatchTelemetry &T) {
 
 CheckResponse QueryEngine::evaluate(const CheckRequest &R) const {
   std::optional<ExecutionAnalysis> Arena;
-  return evaluateRequest(R, Arena, Opts.Cache);
+  return evaluateRequest(R, Arena, Opts.Cache, Opts.Strategy, Opts.Cache);
 }
 
 BatchTelemetry QueryEngine::run(
@@ -257,7 +310,7 @@ std::vector<CheckResponse> QueryEngine::runAllInto(
   unsigned Jobs = std::max(1u, Opts.Jobs);
   Jobs = static_cast<unsigned>(std::min<size_t>(Jobs, N));
   WorkQueue<size_t> Q(Jobs);
-  BatchRun Batch(Requests, Q, Opts.Cache, OnResult);
+  BatchRun Batch(Requests, Q, Opts.Cache, OnResult, Opts.Strategy);
 
   if (Jobs == 1) {
     std::optional<ExecutionAnalysis> Arena;

@@ -27,6 +27,7 @@
 
 #include "execution/ExecutionAnalysis.h"
 #include "query/Query.h"
+#include "query/SessionCache.h"
 
 #include <chrono>
 #include <functional>
@@ -36,18 +37,34 @@
 
 namespace tmw {
 
-class SessionCache;
+/// How a request's models are evaluated over each candidate.
+enum class EvalStrategy : uint8_t {
+  /// Compile the request's spec set into one cross-spec evaluation plan
+  /// (models/EvalPlan.h): shared obligations are computed once per
+  /// candidate and subsumption edges short-circuit whole verdicts. The
+  /// default — verdicts are identical to Independent by construction
+  /// (pinned by tests/eval_plan_test.cpp and the CI corpus cmp).
+  Planned,
+  /// Check every model independently through `MemoryModel::consistent`,
+  /// sharing only the per-candidate analysis arena — the reference path
+  /// the plan is differentially tested against.
+  Independent,
+};
 
 /// Batch evaluation options.
 struct BatchOptions {
   /// Worker threads for `run`/`runAll` (1 = evaluate inline, no threads).
   unsigned Jobs = 1;
-  /// Optional resident caches (parsed programs, interned model specs)
-  /// consulted by every evaluation. nullptr = parse and resolve per
-  /// request, as a one-shot run does. Caching never changes a verdict —
-  /// a cached program/model is identical to a re-parsed one — so cached
-  /// and uncached runs produce byte-identical response JSON.
+  /// Optional resident caches (parsed programs, interned model specs,
+  /// compiled evaluation plans) consulted by every evaluation. nullptr =
+  /// parse and resolve per request, as a one-shot run does. Caching never
+  /// changes a verdict — a cached program/model/plan is identical to a
+  /// recomputed one — so cached and uncached runs produce byte-identical
+  /// response JSON.
   SessionCache *Cache = nullptr;
+  /// Candidate evaluation strategy (Planned and Independent produce
+  /// byte-identical canonical JSON; only the telemetry differs).
+  EvalStrategy Strategy = EvalStrategy::Planned;
 };
 
 /// One batch in flight over a caller-owned `WorkQueue<size_t>` — the seam
@@ -65,7 +82,8 @@ class BatchRun {
 public:
   BatchRun(std::span<const CheckRequest> Requests, WorkQueue<size_t> &Q,
            SessionCache *Cache = nullptr,
-           std::function<void(const CheckResponse &)> OnResult = nullptr);
+           std::function<void(const CheckResponse &)> OnResult = nullptr,
+           EvalStrategy Strategy = EvalStrategy::Planned);
   BatchRun(const BatchRun &) = delete;
   BatchRun &operator=(const BatchRun &) = delete;
 
@@ -83,6 +101,10 @@ private:
   WorkQueue<size_t> &Q;
   SessionCache *Cache;
   std::function<void(const CheckResponse &)> OnResult;
+  EvalStrategy Strategy;
+  /// Plan cache for cache-less planned batches, so a batch still compiles
+  /// each distinct spec set once (a resident `Cache` subsumes it).
+  std::optional<SessionCache> BatchPlans;
   std::vector<CheckResponse> Results;
   /// Responses computed but not yet emitted in order (guarded by EmitMu).
   std::vector<char> Done;

@@ -303,6 +303,22 @@ std::string tmw::responsesToJson(std::span<const CheckResponse> Responses,
     appendUint(Out, Telemetry->Candidates);
     Out += ", \"checks\": ";
     appendUint(Out, Telemetry->Checks);
+    // Cross-spec plan accounting (zeros under independent evaluation);
+    // telemetry-only, so the canonical responses stay byte-identical
+    // across strategies.
+    Out += ", \"plan\": {\"term_evals\": ";
+    appendUint(Out, Telemetry->Plan.TermEvals);
+    Out += ", \"term_hits\": ";
+    appendUint(Out, Telemetry->Plan.TermHits);
+    Out += ", \"spec_evals\": ";
+    appendUint(Out, Telemetry->Plan.SpecEvals);
+    Out += ", \"spec_short_circuits\": ";
+    appendUint(Out, Telemetry->Plan.SpecShortCircuits);
+    Out += ", \"compiles\": ";
+    appendUint(Out, Telemetry->Plan.Compiles);
+    Out += ", \"cache_hits\": ";
+    appendUint(Out, Telemetry->Plan.CacheHits);
+    Out += '}';
     Out += ", \"workers\": [";
     bool First = true;
     for (const WorkerLoad &L : Telemetry->Workers) {

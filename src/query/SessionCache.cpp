@@ -53,6 +53,31 @@ std::shared_ptr<const MemoryModel> SessionCache::model(
   return Inserted ? M : It->second;
 }
 
+std::shared_ptr<const EvalPlan>
+SessionCache::plan(const std::string &Key,
+                   std::span<const MemoryModel *const> Models, bool *Hit) {
+  {
+    std::lock_guard<std::mutex> Lock(Mu);
+    auto It = Plans.find(Key);
+    if (It != Plans.end()) {
+      ++S.PlanHits;
+      if (Hit)
+        *Hit = true;
+      return It->second;
+    }
+    ++S.PlanMisses;
+    if (Hit)
+      *Hit = false;
+  }
+  // Compile outside the lock; racing workers produce identical plans
+  // (compilation is deterministic), so either insert may land.
+  auto P = std::make_shared<const EvalPlan>(EvalPlan::compile(Models));
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto [It, Inserted] = Plans.emplace(Key, P);
+  S.PlansCached = Plans.size();
+  return Inserted ? P : It->second;
+}
+
 SessionCache::Stats SessionCache::stats() const {
   std::lock_guard<std::mutex> Lock(Mu);
   return S;
@@ -62,5 +87,6 @@ void SessionCache::clear() {
   std::lock_guard<std::mutex> Lock(Mu);
   Programs.clear();
   Models.clear();
-  S.ProgramsCached = S.ModelsCached = 0;
+  Plans.clear();
+  S.ProgramsCached = S.ModelsCached = S.PlansCached = 0;
 }

@@ -31,6 +31,7 @@
 #define TMW_QUERY_SESSIONCACHE_H
 
 #include "litmus/Parser.h"
+#include "models/EvalPlan.h"
 #include "models/MemoryModel.h"
 
 #include <cstdint>
@@ -49,8 +50,9 @@ public:
   struct Stats {
     uint64_t ProgramHits = 0, ProgramMisses = 0;
     uint64_t ModelHits = 0, ModelMisses = 0;
+    uint64_t PlanHits = 0, PlanMisses = 0;
     /// Entries currently resident.
-    uint64_t ProgramsCached = 0, ModelsCached = 0;
+    uint64_t ProgramsCached = 0, ModelsCached = 0, PlansCached = 0;
     /// Times the bounded program map was dropped wholesale.
     uint64_t ProgramEvictions = 0;
   };
@@ -68,6 +70,17 @@ public:
   std::shared_ptr<const MemoryModel> model(const std::string &Spec,
                                            std::string *Error = nullptr);
 
+  /// Compile-or-fetch the cross-spec evaluation plan for \p Models,
+  /// keyed by \p Key — the request's *canonical* printed specs joined by
+  /// newlines, so every way of writing the same resolved spec list hits
+  /// one plan. Compilation is deterministic over the resolved models, so
+  /// a cached plan is identical to a fresh one; the batch plans each
+  /// distinct spec set once and every request of the batch reuses it.
+  /// \p Hit, when set, reports whether this lookup was served resident.
+  std::shared_ptr<const EvalPlan>
+  plan(const std::string &Key, std::span<const MemoryModel *const> Models,
+       bool *Hit = nullptr);
+
   Stats stats() const;
 
   /// Drop everything (in-flight requests keep their shared_ptrs).
@@ -82,6 +95,9 @@ private:
       Programs;
   std::unordered_map<std::string, std::shared_ptr<const MemoryModel>>
       Models;
+  /// Compiled evaluation plans keyed by canonical spec-set (tiny, like
+  /// the model cache: sessions check a handful of spec sets).
+  std::unordered_map<std::string, std::shared_ptr<const EvalPlan>> Plans;
   Stats S;
 };
 
