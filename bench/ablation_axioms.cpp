@@ -64,13 +64,13 @@ double checksPerSec(const std::vector<Execution> &Corpus,
       if (Cached) {
         ExecutionAnalysis A(X);
         for (const MemoryModel *M : Models) {
-          Guard += M->check(A).Consistent;
+          Guard = Guard + M->check(A).Consistent;
           ++Checks;
         }
       } else {
         for (const MemoryModel *M : Models) {
           ExecutionAnalysis A(X, AnalysisCaching::Recompute);
-          Guard += M->check(A).Consistent;
+          Guard = Guard + M->check(A).Consistent;
           ++Checks;
         }
       }
@@ -97,7 +97,7 @@ double plannedChecksPerSec(const std::vector<Execution> &Corpus,
       ExecutionAnalysis A(X);
       Plan.evaluate(A, S);
       for (size_t M = 0; M < Models.size(); ++M)
-        Guard += S.consistent(M);
+        Guard = Guard + S.consistent(M);
       Checks += Models.size();
     }
   } while (secondsSince(Start) < MinSeconds);

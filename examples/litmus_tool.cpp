@@ -145,24 +145,16 @@ bool parseCap(const char *Value, uint64_t &Out) {
   return Ec == std::errc() && P == End && Value != End;
 }
 
-/// Split one `--model` value on commas into \p Specs. Strict: an empty
-/// segment (leading/trailing/double comma, or an empty value) is a usage
-/// error — it would otherwise vanish silently, and "sc,,x86" is far more
-/// likely a typo'd third spec than an intentional no-op.
+/// Split one `--model` value on commas into \p Specs via the registry's
+/// shared strict parser (ModelRegistry::splitSpecList — `tmw_audit` uses
+/// the same one), diagnosing the rejected value.
 bool splitModelList(const char *Value, std::vector<std::string> &Specs) {
-  const char *Seg = Value;
-  for (const char *P = Value;; ++P) {
-    if (*P != ',' && *P != '\0')
-      continue;
-    if (P == Seg) {
-      std::fprintf(stderr, "error: --model %s: empty spec in list\n", Value);
-      return false;
-    }
-    Specs.emplace_back(Seg, P);
-    if (*P == '\0')
-      return true;
-    Seg = P + 1;
+  std::string Error;
+  if (ModelRegistry::splitSpecList(Value, Specs, &Error)) {
+    return true;
   }
+  std::fprintf(stderr, "error: --model %s: %s\n", Value, Error.c_str());
+  return false;
 }
 
 } // namespace

@@ -33,6 +33,7 @@
 
 #include "relation/Relation.h"
 
+#include <cassert>
 #include <span>
 #include <string_view>
 
@@ -63,8 +64,17 @@ public:
   /// No axiom enabled.
   static constexpr AxiomMask none() { return AxiomMask(0); }
 
-  constexpr bool test(unsigned I) const { return (Bits >> I) & 1; }
+  // Shifting a 32-bit word by >= 32 is undefined behaviour, so an
+  // out-of-range axiom index would not merely misbehave — it could
+  // silently corrupt the whole mask. Axiom tables are capped at 32
+  // entries by construction; assert the cap here instead of relying on
+  // every caller.
+  constexpr bool test(unsigned I) const {
+    assert(I < 32 && "axiom index out of the 32-bit mask");
+    return (Bits >> I) & 1;
+  }
   constexpr AxiomMask &set(unsigned I, bool On = true) {
+    assert(I < 32 && "axiom index out of the 32-bit mask");
     if (On)
       Bits |= uint32_t(1) << I;
     else
@@ -119,6 +129,15 @@ struct Axiom {
   /// `ExecutionAnalysis::memoTerm`. The default claims dependence on the
   /// whole mask, which is always safe and merely forfeits sharing; tables
   /// annotate the real footprint explicitly.
+  ///
+  /// Salts are *machine-checked*: the contract auditor
+  /// (audit/ContractAudit.h, CLI `tmw_audit`, tests/audit_test.cpp)
+  /// differentially verifies every table entry against probe executions —
+  /// flipping each bit outside the salt must not change the term, the
+  /// memoTerm salts must keep a shared memoized arena coherent, and
+  /// transaction-dependence must survive `invalidateTransactionalState()`
+  /// honestly. Run `tmw_audit` after touching any term or salt; CI fails
+  /// on soundness findings.
   uint32_t Salt = ~uint32_t(0);
 };
 

@@ -234,3 +234,22 @@ std::string ModelRegistry::print(const MemoryModel &M) {
     }
   return Spec;
 }
+
+bool ModelRegistry::splitSpecList(std::string_view List,
+                                  std::vector<std::string> &Out,
+                                  std::string *Error) {
+  size_t Seg = 0;
+  for (size_t P = 0;; ++P) {
+    if (P != List.size() && List[P] != ',')
+      continue;
+    if (P == Seg) {
+      if (Error)
+        *Error = "empty spec in list";
+      return false;
+    }
+    Out.emplace_back(List.substr(Seg, P - Seg));
+    if (P == List.size())
+      return true;
+    Seg = P + 1;
+  }
+}

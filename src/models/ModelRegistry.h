@@ -73,6 +73,20 @@ public:
   static std::unique_ptr<MemoryModel> parse(std::string_view Spec,
                                             std::string *Error = nullptr);
 
+  /// Split a comma-separated spec list ("sc,tsc,x86") into \p Out,
+  /// appending in order. Strict: an empty segment — a leading, trailing,
+  /// or doubled comma, or an empty value — is an error ("sc,,x86" is far
+  /// more likely a typo'd third spec than an intentional no-op). On
+  /// failure returns false and, when \p Error is non-null, stores a
+  /// message; \p Out then holds the segments parsed so far. Segments are
+  /// *not* resolved — callers validate each against `parse` so every bad
+  /// spec in a list can be diagnosed, not just the first. This is the one
+  /// list parser every frontend (`litmus_tool --model`,
+  /// `tmw_audit --model`) shares.
+  static bool splitSpecList(std::string_view List,
+                            std::vector<std::string> &Out,
+                            std::string *Error = nullptr);
+
   /// Canonical spec of \p M. For plain models: the arch name, then
   /// "/+baseline" when the mask is exactly the baseline, otherwise one
   /// "/-name" per disabled axiom. For `ImplModel` wrappers: the wrapper's

@@ -383,7 +383,7 @@ struct Parser {
 
 std::optional<JsonValue> tmw::parseJson(std::string_view Text,
                                         std::string *Error) {
-  Parser P{Text};
+  Parser P{Text, 0, 0, {}};
   JsonValue V;
   if (!P.parseValue(V)) {
     if (Error)

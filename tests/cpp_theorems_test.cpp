@@ -75,8 +75,9 @@ TEST_P(TheoremSweep, WeakIsolationFollowsFromConsistency) {
   // §7.2: the WeakIsol axiom follows from the other C++ axioms.
   CppModel M;
   sweepCpp(GetParam(), [&](const Execution &X) {
-    if (M.consistent(X))
+    if (M.consistent(X)) {
       EXPECT_TRUE(holdsWeakIsolation(X)) << X.dump();
+    }
   });
 }
 
@@ -103,8 +104,9 @@ TEST_P(TheoremSweep, SeqCstImpliesScForTransactionFree) {
       return;
     if (!(X.universe() - X.seqCst()).empty())
       return;
-    if (M.consistent(X))
+    if (M.consistent(X)) {
       EXPECT_TRUE(Sc.consistent(X)) << X.dump();
+    }
   });
 }
 
