@@ -35,14 +35,22 @@
 #include "litmus/Printer.h"
 #include "query/QueryEngine.h"
 #include "query/QueryIO.h"
+#include "server/Multiplexer.h"
 #include "server/QueryServer.h"
 
 #include <chrono>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
+
+#ifndef MSG_NOSIGNAL
+#define MSG_NOSIGNAL 0
+#endif
 
 using namespace tmw;
 
@@ -92,6 +100,105 @@ double timeBatches(unsigned Batches, const std::string &Golden,
     }
   Ok = true;
   return secondsSince(T0) / Batches;
+}
+
+/// One load-generator client: connect to \p Path, send \p Batches copies
+/// of \p Line, half-close, read everything back, and byte-check against
+/// \p Golden repeated. Returns false on any socket failure or divergence.
+bool muxClient(const std::string &Path, const std::string &Line,
+               const std::string &Golden, unsigned Batches) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path))
+    return false;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  int Fd = -1;
+  for (int Try = 0; Try < 400 && Fd < 0; ++Try) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return false;
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) !=
+        0) {
+      ::close(Fd);
+      Fd = -1;
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  }
+  if (Fd < 0)
+    return false;
+  for (unsigned B = 0; B < Batches; ++B) {
+    std::string Payload = Line + "\n";
+    size_t Off = 0;
+    while (Off < Payload.size()) {
+      ssize_t N = ::send(Fd, Payload.data() + Off, Payload.size() - Off,
+                         MSG_NOSIGNAL);
+      if (N < 0) {
+        if (errno == EINTR)
+          continue;
+        ::close(Fd);
+        return false;
+      }
+      Off += static_cast<size_t>(N);
+    }
+  }
+  ::shutdown(Fd, SHUT_WR);
+  std::string Got;
+  char Buf[65536];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return false;
+    }
+    if (N == 0)
+      break;
+    Got.append(Buf, static_cast<size_t>(N));
+  }
+  ::close(Fd);
+  std::string Expect;
+  for (unsigned B = 0; B < Batches; ++B)
+    Expect += Golden;
+  return Got == Expect;
+}
+
+/// Aggregate seconds per batch with \p Clients concurrent connections
+/// fanned over one multiplexed server, each sending \p Batches corpus
+/// batches; every client's byte stream is checked (divergence → 0 and
+/// \p Ok = false).
+double muxSweepPoint(QueryServer &Server, const std::string &Line,
+                     const std::string &Golden, unsigned Clients,
+                     unsigned Batches, bool &Ok) {
+  std::string Path =
+      "/tmp/tmw_bench_mux." + std::to_string(::getpid()) + ".sock";
+  server::MuxOptions Opts;
+  Opts.AcceptLimit = Clients;
+  server::ConnectionMultiplexer Mux(Server, Opts);
+  std::thread Loop([&] { Mux.serve(Path); });
+
+  auto T0 = std::chrono::steady_clock::now();
+  std::vector<std::thread> Threads;
+  std::vector<char> Good(Clients, 0);
+  for (unsigned C = 0; C < Clients; ++C)
+    Threads.emplace_back(
+        [&, C] { Good[C] = muxClient(Path, Line, Golden, Batches); });
+  for (std::thread &T : Threads)
+    T.join();
+  double Sec = secondsSince(T0);
+  Loop.join();
+
+  Ok = true;
+  for (unsigned C = 0; C < Clients; ++C)
+    if (!Good[C]) {
+      std::fprintf(stderr,
+                   "FATAL: multi-client sweep (%u clients): client %u "
+                   "failed or diverged\n",
+                   Clients, C);
+      Ok = false;
+      return 0;
+    }
+  return Sec / (static_cast<double>(Clients) * Batches);
 }
 
 } // namespace
@@ -152,6 +259,22 @@ int main(int argc, char **argv) {
   if (!Ok)
     return 1;
 
+  // --- workload 3: N concurrent clients over the poll multiplexer -------
+  // Same corpus batch, fanned from rival connections onto the one
+  // resident pool: scaling here is the multi-lane CI shape. Every
+  // client's byte stream is checked against the golden document.
+  std::vector<unsigned> ClientCounts =
+      Smoke ? std::vector<unsigned>{1, 4} : std::vector<unsigned>{1, 2, 4, 8};
+  const unsigned MuxBatches = Smoke ? 2 : 4;
+  std::vector<double> MuxSec;
+  for (unsigned Clients : ClientCounts) {
+    double Sec =
+        muxSweepPoint(Server, BatchLine, Golden, Clients, MuxBatches, Ok);
+    if (!Ok)
+      return 1;
+    MuxSec.push_back(Sec);
+  }
+
   // --- process-per-batch: the real litmus_tool flow, when reachable -----
   double ProcessSec = 0;
   char Cmd[128];
@@ -186,8 +309,25 @@ int main(int argc, char **argv) {
               SourceResidentSec);
   std::printf("    cold engine per batch (re-parses):    %8.4fs  (%.2fx)\n",
               SourceColdSec, SourceColdSec / SourceResidentSec);
+  std::printf("  concurrent clients over the poll multiplexer "
+              "(%u batches each, aggregate s/batch):\n",
+              MuxBatches);
+  for (size_t I = 0; I < ClientCounts.size(); ++I)
+    std::printf("    %u client%s: %30.4fs  (%.2fx vs 1 client)\n",
+                ClientCounts[I], ClientCounts[I] == 1 ? " " : "s", MuxSec[I],
+                MuxSec[I] > 0 ? MuxSec[0] / MuxSec[I] : 0.0);
 
-  char Json[768];
+  std::string Sweep = "[";
+  for (size_t I = 0; I < ClientCounts.size(); ++I) {
+    char Point[160];
+    std::snprintf(Point, sizeof(Point),
+                  "%s{\"clients\": %u, \"seconds_per_batch\": %.6f}",
+                  I ? ", " : "", ClientCounts[I], MuxSec[I]);
+    Sweep += Point;
+  }
+  Sweep += "]";
+
+  char Json[896];
   std::snprintf(
       Json, sizeof(Json),
       "{\"bench\": \"server_throughput\", \"batches\": %u, \"jobs\": %u, "
@@ -198,11 +338,12 @@ int main(int argc, char **argv) {
       "\"source_resident_seconds_per_batch\": %.6f, "
       "\"source_cold_seconds_per_batch\": %.6f, "
       "\"speedup_vs_cold\": %.3f, \"speedup_vs_process\": %.3f, "
-      "\"source_speedup_vs_cold\": %.3f}",
+      "\"source_speedup_vs_cold\": %.3f, "
+      "\"mux_batches_per_client\": %u, \"mux_sweep\": %s}",
       Batches, Jobs, Requests.size(), ResidentSec, ColdSec, ProcessSec,
       SourceResidentSec, SourceColdSec, ColdSec / ResidentSec,
       ProcessSec > 0 ? ProcessSec / ResidentSec : 0.0,
-      SourceColdSec / SourceResidentSec);
+      SourceColdSec / SourceResidentSec, MuxBatches, Sweep.c_str());
   bench::writeBenchJson("server_throughput", Json);
   return 0;
 }

@@ -14,19 +14,34 @@
 ///
 /// Usage:   ./tmw_serve [options]              # serve stdin -> stdout
 /// Example: ./tmw_serve --print-corpus-batch | ./tmw_serve --jobs 4
-///          ./tmw_serve --jobs 4 --listen /tmp/tmw.sock
+///          ./tmw_serve --jobs 4 --listen /tmp/tmw.sock --max-clients 8
+///          ./tmw_serve --connect /tmp/tmw.sock < batches.jsonl
 ///
 /// Flags:
 ///   --jobs N              resident pool workers (strict parse: a
 ///                         malformed or non-positive N is a usage error).
 ///   --listen <path>       serve a Unix-domain stream socket at <path>
-///                         (connections served serially) instead of stdin.
+///                         through the poll-based multiplexer: up to
+///                         --max-clients concurrent connections share the
+///                         one pool and cache, each with byte-identical
+///                         verdict streams, backpressure for slow
+///                         readers, and mid-batch disconnect cleanup.
+///   --serial              with --listen: the serial one-connection-at-a-
+///                         time reference loop instead of the multiplexer.
+///   --max-clients N       concurrent connection cap for the multiplexer
+///                         (default 64).
+///   --accept-limit N      exit after serving N connections (0 = run
+///                         until killed; bounded CI runs use this).
+///   --connect <path>      client mode: send stdin's batch lines to the
+///                         server at <path>, print its verdict documents
+///                         to stdout (the CI fan-out client).
 ///   --telemetry           append batch timing + per-worker load to every
 ///                         verdicts document (forfeits byte-identity with
 ///                         one-shot runs).
 ///   --stats               print session counters (batches, cache hits,
-///                         evictions, resident evaluation plans) to
-///                         stderr at EOF.
+///                         evictions, resident evaluation plans — plus
+///                         per-connection traffic under the multiplexer)
+///                         to stderr at exit.
 ///   --print-corpus-batch  emit the built-in corpus as one batch line —
 ///                         the requests `litmus_tool --corpus --json`
 ///                         evaluates — and exit; pipe it back into a
@@ -39,12 +54,14 @@
 #include "BenchUtil.h"
 #include "litmus/Library.h"
 #include "query/QueryIO.h"
+#include "server/Multiplexer.h"
 #include "server/QueryServer.h"
 #include "server/Transport.h"
 
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <iostream>
 #include <string>
 
 using namespace tmw;
@@ -57,12 +74,70 @@ int usageError(const char *Fmt, const char *Arg) {
   return 2;
 }
 
+unsigned parseCountStrict(const char *Text, const char *Flag) {
+  // Like parseJobsStrict but 0 is meaningful (= unlimited) for these.
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Text, &End, 10);
+  if (End == Text || *End != '\0' || V > 1u << 20) {
+    std::fprintf(stderr, "error: %s expects a small non-negative integer, got '%s'\n",
+                 Flag, Text);
+    std::exit(2);
+  }
+  return static_cast<unsigned>(V);
+}
+
+void printServerStats(const QueryServer &Server) {
+  ServerStats St = Server.stats();
+  std::fprintf(stderr,
+               "tmw_serve: %llu batches (%llu bad, %llu cancelled), "
+               "%llu requests; "
+               "program cache %llu hits / %llu misses (%llu resident, "
+               "%llu evictions); model cache %llu hits / %llu misses; "
+               "plan cache %llu hits / %llu misses (%llu resident)\n",
+               static_cast<unsigned long long>(St.Batches),
+               static_cast<unsigned long long>(St.BadBatches),
+               static_cast<unsigned long long>(St.CancelledBatches),
+               static_cast<unsigned long long>(St.Requests),
+               static_cast<unsigned long long>(St.Cache.ProgramHits),
+               static_cast<unsigned long long>(St.Cache.ProgramMisses),
+               static_cast<unsigned long long>(St.Cache.ProgramsCached),
+               static_cast<unsigned long long>(St.Cache.ProgramEvictions),
+               static_cast<unsigned long long>(St.Cache.ModelHits),
+               static_cast<unsigned long long>(St.Cache.ModelMisses),
+               static_cast<unsigned long long>(St.Cache.PlanHits),
+               static_cast<unsigned long long>(St.Cache.PlanMisses),
+               static_cast<unsigned long long>(St.Cache.PlansCached));
+}
+
+void printMuxStats(const server::MuxStats &M) {
+  std::fprintf(stderr,
+               "tmw_serve: multiplexer served %llu connections (%llu aborted)\n",
+               static_cast<unsigned long long>(M.Accepted),
+               static_cast<unsigned long long>(M.Aborted));
+  for (const server::MuxConnStats &C : M.Connections)
+    std::fprintf(stderr,
+                 "  conn %llu: %llu batches (%llu bad), %llu requests, "
+                 "%llu B in / %llu B out, peak buffered %zu B, "
+                 "%llu backpressure pauses%s\n",
+                 static_cast<unsigned long long>(C.Id),
+                 static_cast<unsigned long long>(C.Batches),
+                 static_cast<unsigned long long>(C.BadBatches),
+                 static_cast<unsigned long long>(C.Requests),
+                 static_cast<unsigned long long>(C.BytesIn),
+                 static_cast<unsigned long long>(C.BytesOut),
+                 C.PeakBuffered,
+                 static_cast<unsigned long long>(C.BackpressurePauses),
+                 C.Aborted ? ", aborted" : "");
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   unsigned Jobs = 1;
   bool Telemetry = false, Stats = false, PrintCorpusBatch = false;
-  std::string ListenPath;
+  bool Serial = false;
+  std::string ListenPath, ConnectPath;
+  server::MuxOptions Mux;
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
@@ -78,6 +153,18 @@ int main(int Argc, char **Argv) {
       ListenPath = Argv[++I];
     } else if (std::strncmp(A, "--listen=", 9) == 0) {
       ListenPath = A + 9;
+    } else if (std::strcmp(A, "--connect") == 0 && I + 1 < Argc) {
+      ConnectPath = Argv[++I];
+    } else if (std::strncmp(A, "--connect=", 10) == 0) {
+      ConnectPath = A + 10;
+    } else if (std::strcmp(A, "--max-clients") == 0 && I + 1 < Argc) {
+      Mux.MaxClients = parseCountStrict(Argv[++I], "--max-clients");
+      if (Mux.MaxClients == 0)
+        return usageError("error: --max-clients needs at least %s", "1");
+    } else if (std::strcmp(A, "--accept-limit") == 0 && I + 1 < Argc) {
+      Mux.AcceptLimit = parseCountStrict(Argv[++I], "--accept-limit");
+    } else if (std::strcmp(A, "--serial") == 0) {
+      Serial = true;
     } else if (std::strcmp(A, "--telemetry") == 0) {
       Telemetry = true;
     } else if (std::strcmp(A, "--stats") == 0) {
@@ -103,33 +190,26 @@ int main(int Argc, char **Argv) {
     return 0;
   }
 
-  // A client that disconnects mid-write must not kill the server.
+  // A client/server that disconnects mid-write must not kill us.
   std::signal(SIGPIPE, SIG_IGN);
 
-  QueryServer Server({Jobs, Telemetry});
-  int Exit = ListenPath.empty()
-                 ? server::serveStdio(Server)
-                 : server::serveUnixSocket(Server, ListenPath);
+  if (!ConnectPath.empty())
+    return server::runClient(ConnectPath, std::cin, std::cout);
 
-  if (Stats) {
-    ServerStats St = Server.stats();
-    std::fprintf(stderr,
-                 "tmw_serve: %llu batches (%llu bad), %llu requests; "
-                 "program cache %llu hits / %llu misses (%llu resident, "
-                 "%llu evictions); model cache %llu hits / %llu misses; "
-                 "plan cache %llu hits / %llu misses (%llu resident)\n",
-                 static_cast<unsigned long long>(St.Batches),
-                 static_cast<unsigned long long>(St.BadBatches),
-                 static_cast<unsigned long long>(St.Requests),
-                 static_cast<unsigned long long>(St.Cache.ProgramHits),
-                 static_cast<unsigned long long>(St.Cache.ProgramMisses),
-                 static_cast<unsigned long long>(St.Cache.ProgramsCached),
-                 static_cast<unsigned long long>(St.Cache.ProgramEvictions),
-                 static_cast<unsigned long long>(St.Cache.ModelHits),
-                 static_cast<unsigned long long>(St.Cache.ModelMisses),
-                 static_cast<unsigned long long>(St.Cache.PlanHits),
-                 static_cast<unsigned long long>(St.Cache.PlanMisses),
-                 static_cast<unsigned long long>(St.Cache.PlansCached));
+  QueryServer Server({Jobs, Telemetry});
+  int Exit;
+  if (ListenPath.empty()) {
+    Exit = server::serveStdio(Server);
+  } else if (Serial) {
+    Exit = server::serveUnixSocket(Server, ListenPath, Mux.AcceptLimit);
+  } else {
+    server::ConnectionMultiplexer M(Server, Mux);
+    Exit = M.serve(ListenPath);
+    if (Stats)
+      printMuxStats(M.stats());
   }
+
+  if (Stats)
+    printServerStats(Server);
   return Exit;
 }

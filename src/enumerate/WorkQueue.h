@@ -61,10 +61,15 @@ struct WorkerLoad {
 };
 
 /// Work-stealing pool of \p Task values. Thread-safe; one instance per
-/// parallel search or batch.
+/// parallel search or batch — or, in persistent mode, one per resident
+/// server: a persistent pool never reports exhaustion (an empty pool
+/// parks its workers until `submit` feeds it or `cancel` shuts it down),
+/// so tasks from many concurrent batches can flow through one set of
+/// long-lived workers.
 template <class Task> class WorkQueue {
 public:
-  explicit WorkQueue(unsigned NumWorkers) {
+  explicit WorkQueue(unsigned NumWorkers, bool Persistent = false)
+      : Persistent(Persistent) {
     assert(NumWorkers > 0 && "pool needs at least one worker");
     Deques.resize(NumWorkers);
   }
@@ -82,11 +87,27 @@ public:
     SeedCursor = (SeedCursor + 1) % Deques.size();
   }
 
+  /// Thread-safe task injection while workers are running — the
+  /// persistent-pool feed (a non-persistent pool may use it too, but its
+  /// workers race exhaustion). Deals round-robin like `seed`, but
+  /// back-inserted: a worker pops the *newest* submission of its own
+  /// deque first, and thieves take the oldest — same discipline as
+  /// split-produced children.
+  void submit(Task P) {
+    {
+      std::lock_guard<std::mutex> Lock(Mu);
+      Deques[SubmitCursor].push_back(std::move(P));
+      SubmitCursor = (SubmitCursor + 1) % Deques.size();
+    }
+    Cv.notify_one();
+  }
+
   /// Get the next task for \p Worker: own deque LIFO first, otherwise
   /// steal the oldest task from the fullest other deque (\p WasSteal
   /// reports which). Blocks while the pool is momentarily empty but some
   /// worker still holds a task it may split. Returns false when the space
-  /// is exhausted or `cancel()` was called.
+  /// is exhausted or `cancel()` was called; a *persistent* pool never
+  /// exhausts — its workers park here until `submit` or `cancel`.
   bool pop(unsigned Worker, Task &Out, bool &WasSteal) {
     std::unique_lock<std::mutex> Lock(Mu);
     for (;;) {
@@ -118,8 +139,9 @@ public:
         WasSteal = true;
         return true;
       }
-      // Globally empty: done only once no in-flight task can still split.
-      if (InFlight == 0) {
+      // Globally empty: done only once no in-flight task can still split
+      // — unless persistent, where empty just means "park until fed".
+      if (InFlight == 0 && !Persistent) {
         Cv.notify_all();
         return false;
       }
@@ -164,6 +186,7 @@ public:
       D.clear(); // a cancelled pool may still hold its dropped tasks
     Cancelled = false;
     SeedCursor = 0;
+    SubmitCursor = 0;
   }
 
   /// Abort: wake every blocked worker and make all pops return false.
@@ -192,7 +215,10 @@ private:
   /// Tasks popped but not yet finished; termination needs it zero.
   unsigned InFlight = 0;
   unsigned SeedCursor = 0;
+  unsigned SubmitCursor = 0;
   bool Cancelled = false;
+  /// Persistent pools park on empty instead of terminating.
+  const bool Persistent = false;
 };
 
 } // namespace tmw

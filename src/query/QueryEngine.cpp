@@ -219,43 +219,62 @@ BatchRun::BatchRun(std::span<const CheckRequest> Requests,
                    WorkQueue<size_t> &Q, SessionCache *Cache,
                    std::function<void(const CheckResponse &)> OnResult,
                    EvalStrategy Strategy)
-    : Requests(Requests), Q(Q), Cache(Cache), OnResult(std::move(OnResult)),
-      Strategy(Strategy), Results(Requests.size()), Done(Requests.size(), 0),
-      Loads(Q.numWorkers()), T0(std::chrono::steady_clock::now()) {
-  // Cache-less planned batches still plan each distinct spec set once.
-  if (!Cache && Strategy == EvalStrategy::Planned)
-    BatchPlans.emplace();
+    : BatchRun(Requests, Q.numWorkers(), Cache, std::move(OnResult),
+               Strategy) {
+  this->Q = &Q;
   // One monolithic task per request: the pool acts as a balanced
   // distributor with stealing.
   for (size_t I = 0; I < Requests.size(); ++I)
     Q.seed(I);
 }
 
+BatchRun::BatchRun(std::span<const CheckRequest> Requests,
+                   unsigned NumWorkers, SessionCache *Cache,
+                   std::function<void(const CheckResponse &)> OnResult,
+                   EvalStrategy Strategy)
+    : Requests(Requests), Cache(Cache), OnResult(std::move(OnResult)),
+      Strategy(Strategy), Results(Requests.size()), Done(Requests.size(), 0),
+      Loads(NumWorkers), T0(std::chrono::steady_clock::now()) {
+  // Cache-less planned batches still plan each distinct spec set once.
+  if (!Cache && Strategy == EvalStrategy::Planned)
+    BatchPlans.emplace();
+}
+
 void BatchRun::work(unsigned Worker,
                     std::optional<ExecutionAnalysis> &Arena) {
   size_t I = 0;
   bool Stolen = false;
-  while (Q.pop(Worker, I, Stolen)) {
-    TimePoint S0 = std::chrono::steady_clock::now();
-    ++Loads[Worker].Tasks;
-    Loads[Worker].Steals += Stolen;
+  while (Q->pop(Worker, I, Stolen)) {
+    runOne(I, Worker, Arena, Stolen);
+    Q->finish(Worker);
+  }
+}
+
+bool BatchRun::runOne(size_t I, unsigned Worker,
+                      std::optional<ExecutionAnalysis> &Arena, bool Stolen,
+                      bool Skip) {
+  TimePoint S0 = std::chrono::steady_clock::now();
+  ++Loads[Worker].Tasks;
+  Loads[Worker].Steals += Stolen;
+  if (!Skip) {
     Results[I] = evaluateRequest(Requests[I], Arena, Cache, Strategy,
                                  Cache ? Cache : (BatchPlans ? &*BatchPlans
                                                              : nullptr));
     Loads[Worker].BasesVisited += Results[I].Candidates;
-    Loads[Worker].BusySeconds += secondsSince(S0);
-    {
-      // Stream in request order: emit response i only after 0..i-1.
-      std::lock_guard<std::mutex> Lock(EmitMu);
-      Done[I] = 1;
-      while (NextToEmit < Results.size() && Done[NextToEmit]) {
-        if (OnResult)
-          OnResult(Results[NextToEmit]);
-        ++NextToEmit;
-      }
-    }
-    Q.finish(Worker);
   }
+  Loads[Worker].BusySeconds += secondsSince(S0);
+  // Stream in request order: emit response i only after 0..i-1. Exactly
+  // one call advances NextToEmit to the end — the batch-completion
+  // signal for external schedulers.
+  std::lock_guard<std::mutex> Lock(EmitMu);
+  Done[I] = 1;
+  bool WasComplete = NextToEmit == Results.size();
+  while (NextToEmit < Results.size() && Done[NextToEmit]) {
+    if (OnResult)
+      OnResult(Results[NextToEmit]);
+    ++NextToEmit;
+  }
+  return !WasComplete && NextToEmit == Results.size();
 }
 
 std::vector<CheckResponse> BatchRun::take(BatchTelemetry &T) {

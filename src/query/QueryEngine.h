@@ -78,9 +78,22 @@ struct BatchOptions {
 /// task per request), have each of the queue's workers call `work` until
 /// it returns, then collect results with `take`. Responses stream to the
 /// optional callback in request order, whatever order workers finish in.
+///
+/// The *unseeded* constructor (no queue) is the seam for schedulers that
+/// interleave tasks of many batches over one shared pool — the concurrent
+/// multi-client server: the owner dispatches `(batch, request-index)`
+/// tasks itself and drives `runOne` per task. Request evaluation is the
+/// same code either way, so verdict bytes cannot depend on which mode —
+/// or how many rival batches — scheduled them.
 class BatchRun {
 public:
   BatchRun(std::span<const CheckRequest> Requests, WorkQueue<size_t> &Q,
+           SessionCache *Cache = nullptr,
+           std::function<void(const CheckResponse &)> OnResult = nullptr,
+           EvalStrategy Strategy = EvalStrategy::Planned);
+  /// Unseeded mode: evaluation state for \p NumWorkers external workers;
+  /// the caller schedules every request index exactly once via `runOne`.
+  BatchRun(std::span<const CheckRequest> Requests, unsigned NumWorkers,
            SessionCache *Cache = nullptr,
            std::function<void(const CheckResponse &)> OnResult = nullptr,
            EvalStrategy Strategy = EvalStrategy::Planned);
@@ -92,13 +105,26 @@ public:
   /// first use, retargeted per candidate, reusable across batches).
   void work(unsigned Worker, std::optional<ExecutionAnalysis> &Arena);
 
+  /// Evaluate request \p I (exactly once per index, any thread, any
+  /// order). \p Skip marks the index done without evaluating — the
+  /// cancellation path for a disconnected client's batch: bookkeeping
+  /// still completes, the response stays empty and is discarded by the
+  /// owner. Returns true for exactly the call that completed the batch
+  /// (every response emitted in order) — after that call returns, no
+  /// other `runOne` for this batch is in flight.
+  bool runOne(size_t I, unsigned Worker,
+              std::optional<ExecutionAnalysis> &Arena, bool Stolen = false,
+              bool Skip = false);
+
   /// After every worker returned: the responses (request order) and the
   /// batch telemetry.
   std::vector<CheckResponse> take(BatchTelemetry &T);
 
+  size_t size() const { return Requests.size(); }
+
 private:
   std::span<const CheckRequest> Requests;
-  WorkQueue<size_t> &Q;
+  WorkQueue<size_t> *Q = nullptr;
   SessionCache *Cache;
   std::function<void(const CheckResponse &)> OnResult;
   EvalStrategy Strategy;

@@ -13,21 +13,35 @@
 ///  * a `SessionCache` of parsed DSL programs (content-addressed by
 ///    source text — entries can never go stale) and interned
 ///    model-registry resolutions;
-///  * the work-stealing pool: `Jobs` worker threads plus one
-///    `ExecutionAnalysis` arena per worker, re-armed per batch via
-///    `WorkQueue::reset` instead of constructed per call.
+///  * the worker pool: `Jobs` persistent worker threads over one
+///    *persistent-mode* `WorkQueue` (workers park on the empty pool and
+///    wake when a batch's tasks are submitted), plus one
+///    `ExecutionAnalysis` arena per worker.
+///
+/// Two entry layers share that pool:
+///  * the *serial* API (`runBatch`/`serveLine`/`serveStream`) — one batch
+///    submitted and awaited per call, the stdio transport's shape;
+///  * the *concurrent* API (`submitBatch`/`cancelBatch`) — many batches
+///    in flight at once, each tagged with an owner-chosen id; tasks of
+///    rival batches interleave freely on the pool, but every response
+///    belongs to exactly one batch and batches complete independently.
+///    This is what the poll-based connection multiplexer
+///    (server/Multiplexer.h) drives: one batch stream per client, all
+///    multiplexed over this one pool and cache.
 ///
 /// Wire form: each batch is one `tmw-query-batch-v1` document on a single
 /// line (NDJSON framing; `requestsToJsonLine` emits it); each answer is
 /// one `tmw-query-verdicts-v1` document — **byte-for-byte identical** to
 /// what a one-shot `litmus_tool --json` run prints for the same requests
-/// and jobs count, because both paths drive the same `BatchRun` and the
-/// caches never change a verdict. A malformed batch line yields an error
-/// document (`batchErrorToJson`), never process death.
+/// and jobs count, because both paths drive the same `BatchRun` request
+/// evaluation and neither the caches nor the scheduling (serial or
+/// concurrent, however many rival batches) can change a verdict. A
+/// malformed batch line yields an error document (`batchErrorToJson`),
+/// never process death.
 ///
-/// Transports (stdin/stdout loop, Unix-domain socket) live in
-/// server/Transport.h; this class is transport-free and driven in-process
-/// by the tests.
+/// Transports (stdin/stdout loop, serial Unix-domain socket, the poll
+/// multiplexer) live in server/Transport.h and server/Multiplexer.h; this
+/// class is transport-free and driven in-process by the tests.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,16 +51,18 @@
 #include "query/QueryEngine.h"
 #include "query/SessionCache.h"
 
-#include <condition_variable>
 #include <iosfwd>
+#include <memory>
 #include <string_view>
 #include <thread>
+#include <unordered_map>
 
 namespace tmw {
 
 /// Server configuration.
 struct ServerOptions {
-  /// Resident pool workers (1 = serve on the calling thread, no threads).
+  /// Resident pool workers (always at least one worker thread; the
+  /// serving/transport threads never evaluate requests themselves).
   unsigned Jobs = 1;
   /// Append the timing/telemetry appendix to every verdicts document
   /// (forfeits byte-identity with one-shot runs, like --telemetry).
@@ -61,22 +77,39 @@ struct ServerStats {
   uint64_t Batches = 0, Requests = 0;
   /// Malformed batch lines answered with an error document.
   uint64_t BadBatches = 0;
+  /// Batches cancelled mid-flight (client disconnected).
+  uint64_t CancelledBatches = 0;
   SessionCache::Stats Cache;
 };
 
+class ServerBatch; // internal: one concurrently-scheduled batch
+
+/// One pool task: request \p Index of \p Batch. Tagging every task with
+/// its batch (hence its connection) is what keeps concurrent clients'
+/// verdict streams from ever intermixing: a worker evaluating a task
+/// writes only into that batch's response slot.
+struct ServerTask {
+  ServerBatch *Batch = nullptr;
+  size_t Index = 0;
+};
+
 /// The resident query session: construct once, serve many batches.
-/// `runBatch`/`serveLine` are *serial* entry points (one batch in flight
-/// at a time — calls from the serving loop); the parallelism is inside,
-/// across the batch's requests.
+///
+/// Thread-safety: `serveLine`/`runBatch`/`submitBatch`/`cancelBatch` are
+/// safe to call from any thread, concurrently — the pool interleaves all
+/// in-flight batches. `serveStream` is a convenience loop for one caller.
 class QueryServer {
 public:
   explicit QueryServer(ServerOptions Opts = {});
+  /// All submitted batches must have completed (the multiplexer drains
+  /// before returning; `runBatch` blocks until its batch is done).
   ~QueryServer();
   QueryServer(const QueryServer &) = delete;
   QueryServer &operator=(const QueryServer &) = delete;
 
-  /// Evaluate one parsed batch on the resident pool; responses in request
-  /// order, deterministic and equal to a one-shot `QueryEngine::runAll`.
+  /// Evaluate one parsed batch on the resident pool and block until it
+  /// completes; responses in request order, deterministic and equal to a
+  /// one-shot `QueryEngine::runAll`.
   std::vector<CheckResponse> runBatch(std::span<const CheckRequest> Requests,
                                       BatchTelemetry *Telemetry = nullptr);
 
@@ -89,31 +122,60 @@ public:
   /// verdicts document written — and flushed — per batch. Returns at EOF.
   void serveStream(std::istream &In, std::ostream &Out);
 
+  /// Completion callback of a concurrently submitted batch: the
+  /// responses (request order) and the batch telemetry. Runs on a pool
+  /// worker thread (on the submitting thread for empty batches) — hand
+  /// off, don't block.
+  using BatchDone =
+      std::function<void(std::vector<CheckResponse> &&, BatchTelemetry &&)>;
+
+  /// Submit \p Requests for concurrent evaluation and return immediately
+  /// with a nonzero batch id (0 for an empty batch, completed inline).
+  /// \p FairnessCap bounds how many of this batch's requests may occupy
+  /// pool workers at once (0 = no cap): with N clients each capped at
+  /// jobs/N-ish, one client's corpus-sized batch cannot starve the rest.
+  /// The requests are copied; for large resident callers prefer moving.
+  uint64_t submitBatch(std::vector<CheckRequest> Requests, BatchDone OnDone,
+                       unsigned FairnessCap = 0);
+
+  /// Best-effort cancel of an in-flight batch (client gone): requests
+  /// not yet started are skipped, in-progress ones finish. The batch
+  /// still completes — `OnDone` still fires (with partial/empty
+  /// responses, which the owner discards) — so completion accounting
+  /// stays exact. Unknown/already-completed ids are ignored.
+  void cancelBatch(uint64_t BatchId);
+
+  /// Count one malformed batch line answered with an error document
+  /// (transports that parse lines themselves report through this, so
+  /// `stats()` agrees with `serveLine`'s own accounting).
+  void recordBadBatch();
+
   ServerStats stats() const;
   SessionCache &cache() { return Cache; }
   unsigned jobs() const { return Opts.Jobs; }
+  bool telemetry() const { return Opts.Telemetry; }
 
 private:
   void workerMain(unsigned Worker);
+  uint64_t submitSpan(std::span<const CheckRequest> Requests,
+                      std::vector<CheckRequest> Owned, BatchDone OnDone,
+                      unsigned FairnessCap);
 
   ServerOptions Opts;
   SessionCache Cache;
-  /// The resident pool, re-armed per batch (`reset`) instead of
-  /// constructed per call.
-  WorkQueue<size_t> Pool;
+  /// The persistent pool: workers park on empty, tasks of all in-flight
+  /// batches interleave (each tagged with its batch).
+  WorkQueue<ServerTask> Pool;
   /// One persistent analysis arena per worker; slot W is touched only by
-  /// worker W (worker 0 is the serving thread when Jobs == 1).
+  /// worker W.
   std::vector<std::optional<ExecutionAnalysis>> Arenas;
-
-  /// Batch hand-off: the serving thread publishes `Current` and bumps
-  /// `Gen`; workers run the batch and report back through `Arrived`.
-  mutable std::mutex Mu;
-  std::condition_variable CvWork, CvDone;
-  BatchRun *Current = nullptr;
-  uint64_t Gen = 0;
-  unsigned Arrived = 0;
-  bool Stop = false;
   std::vector<std::thread> Threads;
+
+  /// In-flight concurrent batches by id (guarded by Mu). Entries own the
+  /// batch state; the worker that completes a batch erases it.
+  mutable std::mutex Mu;
+  std::unordered_map<uint64_t, std::unique_ptr<ServerBatch>> Active;
+  uint64_t NextBatchId = 0;
 
   ServerStats S;
 };

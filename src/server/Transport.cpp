@@ -5,10 +5,12 @@
 #include "server/QueryServer.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
 
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -119,6 +121,10 @@ int server::serveUnixSocket(QueryServer &S, const std::string &Path,
   while (AcceptLimit == 0 || Served < AcceptLimit) {
     int Fd = ::accept(Listen, nullptr, nullptr);
     if (Fd < 0) {
+      // Uniformly EINTR-safe: a signal delivered to the listening
+      // thread — before or after the first served connection — restarts
+      // the accept instead of tearing the listener down (pinned by
+      // tests/transport_test.cpp).
       if (errno == EINTR)
         continue; // a signal is not a served connection
       ::close(Listen);
@@ -129,5 +135,71 @@ int server::serveUnixSocket(QueryServer &S, const std::string &Path,
   }
   ::close(Listen);
   ::unlink(Path.c_str());
+  return 0;
+}
+
+int server::runClient(const std::string &Path, std::istream &In,
+                      std::ostream &Out) {
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    std::fprintf(stderr, "error: socket path too long (max %zu): %s\n",
+                 sizeof(Addr.sun_path) - 1, Path.c_str());
+    return 1;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+
+  // Retry the connect briefly: the common CI shape starts the server in
+  // the background and fans clients out immediately, racing the bind.
+  int Fd = -1;
+  for (int Try = 0; Try < 200; ++Try) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (Fd < 0)
+      return failSys("socket", Path);
+    int Rc;
+    do {
+      Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+    } while (Rc < 0 && errno == EINTR);
+    if (Rc == 0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+    if (errno != ENOENT && errno != ECONNREFUSED)
+      return failSys("connect", Path);
+    std::this_thread::sleep_for(std::chrono::milliseconds(25));
+  }
+  if (Fd < 0) {
+    std::fprintf(stderr, "error: connect %s: server never came up\n",
+                 Path.c_str());
+    return 1;
+  }
+
+  // Send every input line as one batch, half-close, then stream the
+  // verdict documents back until the server is done with us.
+  std::string Line;
+  while (std::getline(In, Line)) {
+    Line.push_back('\n');
+    if (!writeAll(Fd, Line)) {
+      ::close(Fd);
+      return failSys("send", Path);
+    }
+  }
+  ::shutdown(Fd, SHUT_WR);
+
+  char Chunk[65536];
+  for (;;) {
+    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      ::close(Fd);
+      return failSys("read", Path);
+    }
+    if (N == 0)
+      break;
+    Out.write(Chunk, static_cast<std::streamsize>(N));
+  }
+  Out.flush();
+  ::close(Fd);
   return 0;
 }

@@ -3,21 +3,30 @@
 /// \file
 /// The byte-moving side of the query server: the NDJSON stdin/stdout loop
 /// (the default, pipeline-friendly: `printf '%s\n' <batch> | tmw_serve`)
-/// and a Unix-domain stream socket (`--listen <path>`) for callers that
-/// keep a connection open across many batches. Both speak the same frame:
-/// one `tmw-query-batch-v1` document per line in, one
+/// and a Unix-domain stream socket for callers that keep a connection
+/// open across many batches. Both speak the same frame: one
+/// `tmw-query-batch-v1` document per line in, one
 /// `tmw-query-verdicts-v1` document out per batch.
 ///
-/// Socket connections are served serially — the parallelism budget
-/// (`--jobs`) belongs to the batch evaluation, and verdict byte-
-/// determinism is per batch, so interleaving connections would buy
-/// nothing and cost output interleaving hazards.
+/// Two socket servers exist: the **serial** loop here (one connection at
+/// a time — the single-client reference path the protocol tests diff
+/// against) and the **concurrent poll multiplexer**
+/// (server/Multiplexer.h, the default for `--listen`), which serves N
+/// clients at once over the shared pool with a per-connection
+/// byte-identity guarantee against this serial path.
+///
+/// Every accept/read/write loop in this file is uniformly EINTR-safe: a
+/// signal delivered to the serving thread (SIGCHLD from a CI harness,
+/// SIGUSR1 profiling pokes) restarts the call instead of dropping the
+/// connection or killing the listener — pinned by
+/// tests/transport_test.cpp's signal-delivery tests.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef TMW_SERVER_TRANSPORT_H
 #define TMW_SERVER_TRANSPORT_H
 
+#include <iosfwd>
 #include <string>
 
 namespace tmw {
@@ -37,8 +46,19 @@ int serveStdio(QueryServer &S);
 /// number of connections served (0 = loop until the process dies — the
 /// daemon mode). Returns 0 on a clean finish, 1 on socket errors (one
 /// diagnostic line on stderr).
+///
+/// This is the serial single-client reference; the concurrent
+/// multiplexer (server/Multiplexer.h) must match it byte-for-byte per
+/// connection.
 int serveUnixSocket(QueryServer &S, const std::string &Path,
                     unsigned AcceptLimit = 0);
+
+/// The client side (`tmw_serve --connect`): connect to the Unix socket
+/// at \p Path, send every line of \p In as a batch, half-close, then
+/// stream the returned verdict documents to \p Out until EOF. Retries
+/// the connect briefly while a freshly-started server binds. Returns 0
+/// on success, 1 on socket errors (one diagnostic line on stderr).
+int runClient(const std::string &Path, std::istream &In, std::ostream &Out);
 
 } // namespace server
 } // namespace tmw

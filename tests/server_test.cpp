@@ -265,6 +265,101 @@ TEST(QueryServer, UnixSocketRoundTrip) {
   EXPECT_EQ(Got, Reference + Reference);
 }
 
+/// One serial-socket session: serve \p Payload on a fresh listener and
+/// return every byte the server answered.
+std::string socketRoundTrip(QueryServer &S, const std::string &Payload,
+                            const char *Name) {
+  std::string Path = testing::TempDir() + Name;
+  std::thread Listener([&] {
+    server::serveUnixSocket(S, Path, /*AcceptLimit=*/1);
+  });
+  int Fd = -1;
+  sockaddr_un Addr{};
+  Addr.sun_family = AF_UNIX;
+  EXPECT_LT(Path.size(), sizeof(Addr.sun_path));
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  for (int Try = 0; Try < 200; ++Try) {
+    Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(Fd, 0);
+    if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) ==
+        0)
+      break;
+    ::close(Fd);
+    Fd = -1;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_GE(Fd, 0) << "could not connect to " << Path;
+  std::string Got;
+  if (Fd >= 0) {
+    EXPECT_EQ(::send(Fd, Payload.data(), Payload.size(), 0),
+              static_cast<ssize_t>(Payload.size()));
+    EXPECT_EQ(::shutdown(Fd, SHUT_WR), 0);
+    char Buf[65536];
+    for (;;) {
+      ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+      if (N <= 0)
+        break;
+      Got.append(Buf, static_cast<size_t>(N));
+    }
+    ::close(Fd);
+  }
+  Listener.join();
+  return Got;
+}
+
+TEST(QueryServer, BlankLinesOnSocketAreSkipped) {
+  // Empty and whitespace-only NDJSON lines on the wire — leading,
+  // between batches, trailing — produce no documents at all.
+  QueryServer S({2});
+  std::string Line = requestsToJsonLine(sampleBatch());
+  std::string Reference = oneShot(sampleBatch());
+  std::string Got = socketRoundTrip(
+      S, "\n  \t\r\n" + Line + "\n\n" + Line + "\n   \n",
+      "tmw_blank_lines.sock");
+  EXPECT_EQ(Got, Reference + Reference);
+  EXPECT_EQ(S.stats().Batches, 2u);
+}
+
+TEST(QueryServer, OversizedSingleLineBatch) {
+  // One batch line bigger than the transport's 64 KiB read buffer: the
+  // frame spans several reads and must reassemble to the exact one-shot
+  // bytes. Repeated identical requests keep the evaluation cheap (one
+  // parse, then cache hits) while the *line* stays huge.
+  std::vector<CheckRequest> Requests;
+  for (int I = 0; I < 400; ++I) {
+    CheckRequest R;
+    R.Source = SbSource;
+    R.ModelSpecs = {"x86"};
+    Requests.push_back(R);
+  }
+  std::string Line = requestsToJsonLine(Requests);
+  ASSERT_GT(Line.size(), 65536u) << "line must exceed one read buffer";
+
+  QueryServer S({2});
+  std::string Got = socketRoundTrip(S, Line + "\n", "tmw_oversized.sock");
+  EXPECT_EQ(Got, oneShot(Requests));
+  EXPECT_EQ(S.stats().Requests, 400u);
+}
+
+TEST(QueryServer, ErrorDocumentThenValidBatchesOnSameConnection) {
+  // A malformed line mid-session answers with the error document and the
+  // connection keeps serving correct bytes — before and after.
+  QueryServer S({2});
+  std::string Good = requestsToJsonLine(sampleBatch());
+  std::string Reference = oneShot(sampleBatch());
+  std::vector<CheckRequest> Sink;
+  std::string ParseError;
+  ASSERT_FALSE(requestsFromJson("{\"oops\": ", Sink, &ParseError));
+  std::string Got = socketRoundTrip(
+      S, Good + "\n{\"oops\": \n" + Good + "\n" + Good + "\n",
+      "tmw_error_recovery.sock");
+  EXPECT_EQ(Got, Reference +
+                     batchErrorToJson("batch parse error: " + ParseError) +
+                     Reference + Reference);
+  EXPECT_EQ(S.stats().BadBatches, 1u);
+  EXPECT_EQ(S.stats().Batches, 3u);
+}
+
 TEST(SessionCache, ContentAddressedAndFailureCaching) {
   SessionCache C;
   auto A = C.program("thread 0\n  load x\n");
