@@ -299,6 +299,24 @@ struct ConnectionMultiplexer::Impl {
         break;
     }
     processInput(C);
+    // Input high-water: if line peeling is not paused yet the buffer
+    // still exceeds the mark, the leftover is one unterminated line a
+    // misbehaving client is streaming with no newline. Answer with an
+    // error document and stop reading — framing cannot resync, and the
+    // buffer must not grow without bound. (When peeling *is* paused the
+    // buffer may legitimately hold complete lines, but then POLLIN is
+    // off and the buffer cannot grow either.)
+    if (!C.ReadClosed && !C.PausedBP &&
+        C.Live.size() < Opts.MaxBatchesInFlight &&
+        C.InBuf.size() > Opts.MaxLineBytes) {
+      Server.recordBadBatch();
+      ++C.Stats.BadBatches;
+      deliver(C, C.NextSeq++,
+              batchErrorToJson("batch line exceeds maximum length"));
+      C.InBuf.clear();
+      C.InBuf.shrink_to_fit();
+      C.ReadClosed = true;
+    }
   }
 
   // --- lifecycle ---------------------------------------------------------
@@ -323,9 +341,18 @@ struct ConnectionMultiplexer::Impl {
 
   /// Graceful teardown once a half-closed connection has nothing left to
   /// do: input consumed, every batch answered, output on the wire.
+  ///
+  /// "Every batch answered" must be judged by NextToFlush == NextSeq
+  /// (every assigned sequence's document appended to OutBuf), not by
+  /// Live/Ready emptiness: an inline-completed empty batch has no Live
+  /// entry and its document sits in the worker mailbox until the next
+  /// drain — a Live/Ready check would close the connection between the
+  /// dispatch and that drain, silently dropping the response. Live and
+  /// Ready emptiness follow for free: any entry there holds a sequence
+  /// in [NextToFlush, NextSeq).
   void maybeClose(Conn &C) {
-    if (C.ReadClosed && C.InBuf.empty() && C.Live.empty() &&
-        C.Ready.empty() && C.OutOff == C.OutBuf.size())
+    if (C.ReadClosed && C.InBuf.empty() && C.NextToFlush == C.NextSeq &&
+        C.OutOff == C.OutBuf.size())
       closeConn(C);
   }
 

@@ -35,7 +35,11 @@
 ///    the socket drains. A slow reader whose pending output exceeds
 ///    `OutputHighWater` stops being *read* (and stops being parsed —
 ///    buffered input waits too) until its writes drain below half the
-///    mark; other connections are unaffected.
+///    mark; other connections are unaffected. Input is bounded too: an
+///    unterminated line longer than `MaxLineBytes` answers with an
+///    error document and tears the connection down (framing cannot
+///    resync), so a newline-free firehose cannot grow the input buffer
+///    without bound.
 ///
 ///  * **Disconnects.** A vanished client's in-flight batches are
 ///    cancelled (remaining requests skipped) and its pending output
@@ -81,6 +85,13 @@ struct MuxOptions {
   /// Max batches of one connection in flight on the pool at once;
   /// further complete lines wait in the input buffer.
   unsigned MaxBatchesInFlight = 4;
+  /// Input high-water mark: the longest unterminated line buffered for
+  /// one connection. A client streaming bytes with no newline past this
+  /// is answered with an error document and its read side torn down
+  /// (framing cannot resync) instead of growing the input buffer without
+  /// bound. Complete lines up to this length are served normally, so the
+  /// default stays far above any real corpus batch.
+  size_t MaxLineBytes = 64u << 20;
 };
 
 /// Lifetime counters of one connection (reported by `stats()`).

@@ -12,6 +12,8 @@
 #include <string>
 #include <thread>
 
+#include <fcntl.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
@@ -35,6 +37,11 @@ int failSys(const char *What, const std::string &Path) {
   std::fprintf(stderr, "error: %s %s: %s\n", What, Path.c_str(),
                std::strerror(errno));
   return 1;
+}
+
+bool setNonBlocking(int Fd) {
+  int Flags = ::fcntl(Fd, F_GETFL, 0);
+  return Flags >= 0 && ::fcntl(Fd, F_SETFL, Flags | O_NONBLOCK) == 0;
 }
 
 /// Write all of \p Data to \p Fd (EINTR-safe, SIGPIPE-free). False when
@@ -174,30 +181,78 @@ int server::runClient(const std::string &Path, std::istream &In,
     return 1;
   }
 
-  // Send every input line as one batch, half-close, then stream the
-  // verdict documents back until the server is done with us.
-  std::string Line;
-  while (std::getline(In, Line)) {
-    Line.push_back('\n');
-    if (!writeAll(Fd, Line)) {
-      ::close(Fd);
-      return failSys("send", Path);
-    }
+  // Send every input line as one batch and stream the verdict documents
+  // back until the server is done with us — *interleaved*, never
+  // write-everything-then-read. The server bounds a connection's pending
+  // output (the multiplexer's OutputHighWater; the serial transport's
+  // synchronous per-document write) and stops reading until the client
+  // drains, so a client that sits on its responses while it still has
+  // input to push deadlocks both sides once the kernel socket buffers
+  // fill: the classic pipe deadlock. Polling both directions and
+  // draining responses while sending makes progress at any input size.
+  if (!setNonBlocking(Fd)) {
+    ::close(Fd);
+    return failSys("fcntl", Path);
   }
-  ::shutdown(Fd, SHUT_WR);
-
+  std::string Pending; // input lines queued for the wire
+  std::string Line;
+  bool InEof = false, SentEof = false;
   char Chunk[65536];
   for (;;) {
-    ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
-    if (N < 0) {
+    // Keep a bounded slice of the input queued; half-close once the
+    // last byte is on the wire so the server sees EOF and finishes.
+    while (!InEof && Pending.size() < (1u << 20)) {
+      if (!std::getline(In, Line)) {
+        InEof = true;
+        break;
+      }
+      Pending += Line;
+      Pending += '\n';
+    }
+    if (InEof && Pending.empty() && !SentEof) {
+      ::shutdown(Fd, SHUT_WR);
+      SentEof = true;
+    }
+
+    pollfd P{Fd, POLLIN, 0};
+    if (!Pending.empty())
+      P.events |= POLLOUT;
+    if (::poll(&P, 1, -1) < 0) {
       if (errno == EINTR)
         continue;
       ::close(Fd);
-      return failSys("read", Path);
+      return failSys("poll", Path);
     }
-    if (N == 0)
-      break;
-    Out.write(Chunk, static_cast<std::streamsize>(N));
+
+    if (P.revents & POLLOUT) {
+      size_t Off = 0;
+      while (Off < Pending.size()) {
+        ssize_t N = ::send(Fd, Pending.data() + Off, Pending.size() - Off,
+                           MSG_NOSIGNAL);
+        if (N < 0) {
+          if (errno == EINTR)
+            continue;
+          if (errno == EAGAIN || errno == EWOULDBLOCK)
+            break;
+          ::close(Fd);
+          return failSys("send", Path);
+        }
+        Off += static_cast<size_t>(N);
+      }
+      Pending.erase(0, Off);
+    }
+    if (P.revents & (POLLIN | POLLERR | POLLHUP)) {
+      ssize_t N = ::read(Fd, Chunk, sizeof(Chunk));
+      if (N < 0) {
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)
+          continue;
+        ::close(Fd);
+        return failSys("read", Path);
+      }
+      if (N == 0)
+        break; // server finished (or rejected the rest of our input)
+      Out.write(Chunk, static_cast<std::streamsize>(N));
+    }
   }
   Out.flush();
   ::close(Fd);

@@ -54,10 +54,13 @@ int serveUnixSocket(QueryServer &S, const std::string &Path,
                     unsigned AcceptLimit = 0);
 
 /// The client side (`tmw_serve --connect`): connect to the Unix socket
-/// at \p Path, send every line of \p In as a batch, half-close, then
-/// stream the returned verdict documents to \p Out until EOF. Retries
-/// the connect briefly while a freshly-started server binds. Returns 0
-/// on success, 1 on socket errors (one diagnostic line on stderr).
+/// at \p Path, send every line of \p In as a batch — interleaved with
+/// draining the returned verdict documents to \p Out, so an input of
+/// any size cannot pipe-deadlock against the server's write-side
+/// backpressure — half-close once the input is on the wire, then
+/// stream the remaining documents until EOF. Retries the connect
+/// briefly while a freshly-started server binds. Returns 0 on success,
+/// 1 on socket errors (one diagnostic line on stderr).
 int runClient(const std::string &Path, std::istream &In, std::ostream &Out);
 
 } // namespace server

@@ -31,6 +31,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -259,6 +260,93 @@ TEST(Transport, CoalescedBatchesAndTrailingLineInOneWrite) {
   H.finish();
   EXPECT_EQ(H.Exit, 0);
   EXPECT_EQ(Got, Reference + Reference + Reference);
+}
+
+TEST(Transport, EmptyBatchAnsweredEvenAtEof) {
+  // An empty batch (`[]`) completes inline: its document travels through
+  // the worker mailbox with no in-flight (Live) entry. A batch framed in
+  // the same dispatch that sees the close must not let the connection be
+  // torn down before the mailbox drains — that silently drops the
+  // response the serial transport would have written.
+  std::string Reference = oneShot(std::vector<CheckRequest>{});
+  ASSERT_FALSE(Reference.empty());
+
+  server::MuxOptions Opts;
+  Opts.AcceptLimit = 2;
+  MuxHarness H(2, Opts, "tmw_emptybatch.sock");
+
+  // Terminated `[]\n`, then an immediate half-close.
+  int Fd = connectRetry(H.Path);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, "[]\n"));
+  ASSERT_EQ(::shutdown(Fd, SHUT_WR), 0);
+  EXPECT_EQ(recvAll(Fd), Reference);
+  ::close(Fd);
+
+  // Unterminated trailing `[]`: the line is only framed by EOF itself,
+  // so the batch submits in the very dispatch that marks the connection
+  // read-closed — the deterministic shape of the lost-response race.
+  Fd = connectRetry(H.Path);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(sendAll(Fd, "[]"));
+  ASSERT_EQ(::shutdown(Fd, SHUT_WR), 0);
+  EXPECT_EQ(recvAll(Fd), Reference);
+  ::close(Fd);
+
+  H.finish();
+  EXPECT_EQ(H.Exit, 0);
+}
+
+TEST(Transport, UnterminatedGiantLineRejectedNotBuffered) {
+  // A client streaming bytes with no newline past the input high-water
+  // mark gets an error document and a teardown — the server must never
+  // buffer such a line without bound.
+  server::MuxOptions Opts;
+  Opts.AcceptLimit = 1;
+  Opts.MaxLineBytes = 4096;
+  MuxHarness H(2, Opts, "tmw_giantline.sock");
+
+  int Fd = connectRetry(H.Path);
+  ASSERT_GE(Fd, 0);
+  // The send may fail partway once the server stops reading — that is
+  // the guard working, not a test failure.
+  (void)sendAll(Fd, std::string(64 * 1024, 'x'));
+  EXPECT_EQ(recvAll(Fd),
+            batchErrorToJson("batch line exceeds maximum length"));
+  ::close(Fd);
+  H.finish();
+  EXPECT_EQ(H.Exit, 0);
+  EXPECT_EQ(H.Server.stats().BadBatches, 1u);
+  ASSERT_EQ(H.Mux.stats().Connections.size(), 1u);
+  EXPECT_EQ(H.Mux.stats().Connections[0].BadBatches, 1u);
+  EXPECT_FALSE(H.Mux.stats().Connections[0].Aborted);
+}
+
+TEST(Transport, ClientInterleavesSendsWithResponseDrain) {
+  // ~1 MiB of batches against a server whose output high-water is tiny:
+  // the server stops reading this connection almost immediately and only
+  // resumes as responses drain. A client that writes all of its input
+  // before reading anything deadlocks here once the kernel socket
+  // buffers fill — runClient must interleave the two directions.
+  server::MuxOptions Opts;
+  Opts.AcceptLimit = 1;
+  Opts.OutputHighWater = 1024;
+  MuxHarness H(2, Opts, "tmw_client_interleave.sock");
+
+  std::string Reference = oneShot(std::vector<CheckRequest>{});
+  constexpr unsigned Batches = 4096;
+  std::string PaddedLine = "[]" + std::string(254, ' ') + "\n";
+  std::string Input, Expect;
+  for (unsigned I = 0; I < Batches; ++I) {
+    Input += PaddedLine;
+    Expect += Reference;
+  }
+  std::istringstream In(Input);
+  std::ostringstream Got;
+  ASSERT_EQ(server::runClient(H.Path, In, Got), 0);
+  H.finish();
+  EXPECT_EQ(H.Exit, 0);
+  EXPECT_EQ(Got.str(), Expect);
 }
 
 // --- the differential contract ---------------------------------------------
