@@ -37,9 +37,11 @@
 #include "query/QueryIO.h"
 #include "server/Multiplexer.h"
 #include "server/QueryServer.h"
+#include "store/VerdictStore.h"
 
 #include <chrono>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
@@ -275,6 +277,47 @@ int main(int argc, char **argv) {
     MuxSec.push_back(Sec);
   }
 
+  // --- workload 4: the persistent verdict store across process restarts --
+  // Each batch simulates a *fresh process* with a warm store file: parse
+  // the batch line, reopen the store, serve with a cold engine — exactly
+  // `litmus_tool --corpus --json --store` run twice. The first batch fills
+  // the store (cold, evaluation + append/fsync per request); every later
+  // batch answers at I/O speed from the log, byte-identically.
+  std::string StorePath =
+      "/tmp/tmw_bench_store." + std::to_string(::getpid()) + ".store";
+  ::unlink(StorePath.c_str());
+  auto StoreServe = [&](const std::string &Line) {
+    std::vector<CheckRequest> Parsed;
+    std::string Error;
+    if (!requestsFromJson(Line, Parsed, &Error)) {
+      std::fprintf(stderr, "FATAL: %s\n", Error.c_str());
+      return std::string();
+    }
+    std::unique_ptr<VerdictStore> Store =
+        VerdictStore::open(StorePath, &Error);
+    if (!Store) {
+      std::fprintf(stderr, "FATAL: store %s: %s\n", StorePath.c_str(),
+                   Error.c_str());
+      return std::string();
+    }
+    BatchOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.Store = Store.get();
+    return responsesToJson(QueryEngine(Opts).runAll(Parsed));
+  };
+  double StoreColdSec = timeBatches(
+      1, Golden, "store-cold", [&] { return StoreServe(BatchLine); }, Ok);
+  if (!Ok) {
+    ::unlink(StorePath.c_str());
+    return 1;
+  }
+  double StoreWarmSec = timeBatches(
+      Batches, Golden, "store-warm", [&] { return StoreServe(BatchLine); },
+      Ok);
+  ::unlink(StorePath.c_str());
+  if (!Ok)
+    return 1;
+
   // --- process-per-batch: the real litmus_tool flow, when reachable -----
   double ProcessSec = 0;
   char Cmd[128];
@@ -309,6 +352,13 @@ int main(int argc, char **argv) {
               SourceResidentSec);
   std::printf("    cold engine per batch (re-parses):    %8.4fs  (%.2fx)\n",
               SourceColdSec, SourceColdSec / SourceResidentSec);
+  std::printf("  persistent verdict store, fresh engine + reopen per batch:\n");
+  std::printf("    store-cold (fills the log):           %8.4fs\n",
+              StoreColdSec);
+  std::printf("    store-warm (answers from the log):    %8.4fs  (%.2fx vs "
+              "cold engine)\n",
+              StoreWarmSec,
+              StoreWarmSec > 0 ? ColdSec / StoreWarmSec : 0.0);
   std::printf("  concurrent clients over the poll multiplexer "
               "(%u batches each, aggregate s/batch):\n",
               MuxBatches);
@@ -327,7 +377,7 @@ int main(int argc, char **argv) {
   }
   Sweep += "]";
 
-  char Json[896];
+  char Json[1152];
   std::snprintf(
       Json, sizeof(Json),
       "{\"bench\": \"server_throughput\", \"batches\": %u, \"jobs\": %u, "
@@ -337,13 +387,19 @@ int main(int argc, char **argv) {
       "\"process_seconds_per_batch\": %.6f, "
       "\"source_resident_seconds_per_batch\": %.6f, "
       "\"source_cold_seconds_per_batch\": %.6f, "
+      "\"store_cold_seconds_per_batch\": %.6f, "
+      "\"store_warm_seconds_per_batch\": %.6f, "
       "\"speedup_vs_cold\": %.3f, \"speedup_vs_process\": %.3f, "
       "\"source_speedup_vs_cold\": %.3f, "
+      "\"store_warm_speedup_vs_cold_engine\": %.3f, "
       "\"mux_batches_per_client\": %u, \"mux_sweep\": %s}",
       Batches, Jobs, Requests.size(), ResidentSec, ColdSec, ProcessSec,
-      SourceResidentSec, SourceColdSec, ColdSec / ResidentSec,
+      SourceResidentSec, SourceColdSec, StoreColdSec, StoreWarmSec,
+      ColdSec / ResidentSec,
       ProcessSec > 0 ? ProcessSec / ResidentSec : 0.0,
-      SourceColdSec / SourceResidentSec, MuxBatches, Sweep.c_str());
+      SourceColdSec / SourceResidentSec,
+      StoreWarmSec > 0 ? ColdSec / StoreWarmSec : 0.0, MuxBatches,
+      Sweep.c_str());
   bench::writeBenchJson("server_throughput", Json);
   return 0;
 }

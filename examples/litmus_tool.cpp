@@ -42,6 +42,14 @@
 ///                    "independent" (reference per-model loop). The
 ///                    canonical JSON is byte-identical either way — the
 ///                    flag exists so CI can prove it with cmp.
+///   --store <path>   persistent verdict store (store/VerdictStore.h):
+///                    answers whose exact content key (program source,
+///                    canonical specs, options, engine version) is on
+///                    disk skip enumeration; cold answers are appended +
+///                    fsync'd for the next run. Byte-identical output
+///                    either way. An unwritable path, corrupt header, or
+///                    format-version mismatch is a usage error (exit 2) —
+///                    never a silent cache-less run.
 ///
 /// Exit status: 0 on success, 1 when any request failed (e.g. a DSL parse
 /// error — reported as a one-line `file:line: message` diagnostic), 2 on
@@ -54,12 +62,14 @@
 #include "models/ModelRegistry.h"
 #include "query/QueryEngine.h"
 #include "query/QueryIO.h"
+#include "store/VerdictStore.h"
 
 #include <charconv>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -166,6 +176,7 @@ int main(int Argc, char **Argv) {
   bool Telemetry = false;
   unsigned Jobs = 1;
   uint64_t Cap = 0;
+  std::string StorePath;
   EvalStrategy Strategy = EvalStrategy::Planned;
   auto ParseEval = [&](const char *Value) {
     if (std::strcmp(Value, "planned") == 0) {
@@ -224,6 +235,10 @@ int main(int Argc, char **Argv) {
                      A + 6);
         return 2;
       }
+    } else if (std::strcmp(A, "--store") == 0 && I + 1 < Argc) {
+      StorePath = Argv[++I];
+    } else if (std::strncmp(A, "--store=", 8) == 0) {
+      StorePath = A + 8;
     } else if (std::strncmp(A, "--", 2) == 0) {
       std::fprintf(stderr, "error: unknown flag %s\n", A);
       return 2;
@@ -292,7 +307,22 @@ int main(int Argc, char **Argv) {
     Add(std::move(R), "");
   }
 
-  QueryEngine Engine({.Jobs = Jobs, .Strategy = Strategy});
+  // Strict --store diagnostics: a store that cannot be opened (unwritable
+  // path, corrupt header, format-version mismatch) is a usage error, not
+  // a silent fall-through to cache-less evaluation.
+  std::unique_ptr<VerdictStore> Store;
+  if (!StorePath.empty()) {
+    std::string Error;
+    Store = VerdictStore::open(StorePath, &Error);
+    if (!Store) {
+      std::fprintf(stderr, "error: --store %s: %s\n", StorePath.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+  }
+
+  QueryEngine Engine(
+      {.Jobs = Jobs, .Strategy = Strategy, .Store = Store.get()});
   int Failed = 0;
 
   if (Json) {

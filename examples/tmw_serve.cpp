@@ -35,6 +35,13 @@
 ///   --connect <path>      client mode: send stdin's batch lines to the
 ///                         server at <path>, print its verdict documents
 ///                         to stdout (the CI fan-out client).
+///   --store <path>        persistent verdict store shared by every batch
+///                         of every connection: repeat queries answer at
+///                         I/O speed across restarts, byte-identical to
+///                         cold evaluation. The server *refuses to start*
+///                         (exit 2) on an unwritable path, corrupt
+///                         header, or format-version mismatch rather than
+///                         silently running cache-less.
 ///   --telemetry           append batch timing + per-worker load to every
 ///                         verdicts document (forfeits byte-identity with
 ///                         one-shot runs).
@@ -57,11 +64,13 @@
 #include "server/Multiplexer.h"
 #include "server/QueryServer.h"
 #include "server/Transport.h"
+#include "store/VerdictStore.h"
 
 #include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 using namespace tmw;
@@ -88,6 +97,21 @@ unsigned parseCountStrict(const char *Text, const char *Flag) {
 
 void printServerStats(const QueryServer &Server) {
   ServerStats St = Server.stats();
+  if (St.HasStore)
+    std::fprintf(
+        stderr,
+        "tmw_serve: verdict store: %llu hits / %llu misses, %llu appends "
+        "(%llu errors); %llu records resident, %llu recovered at open "
+        "(%llu stale, %llu duplicate), %llu torn-tail bytes truncated\n",
+        static_cast<unsigned long long>(St.Store.Hits),
+        static_cast<unsigned long long>(St.Store.Misses),
+        static_cast<unsigned long long>(St.Store.Appends),
+        static_cast<unsigned long long>(St.Store.AppendErrors),
+        static_cast<unsigned long long>(St.Store.Records),
+        static_cast<unsigned long long>(St.Store.RecoveredRecords),
+        static_cast<unsigned long long>(St.Store.StaleRecords),
+        static_cast<unsigned long long>(St.Store.DuplicateRecords),
+        static_cast<unsigned long long>(St.Store.TruncatedTailBytes));
   std::fprintf(stderr,
                "tmw_serve: %llu batches (%llu bad, %llu cancelled), "
                "%llu requests; "
@@ -136,7 +160,7 @@ int main(int Argc, char **Argv) {
   unsigned Jobs = 1;
   bool Telemetry = false, Stats = false, PrintCorpusBatch = false;
   bool Serial = false;
-  std::string ListenPath, ConnectPath;
+  std::string ListenPath, ConnectPath, StorePath;
   server::MuxOptions Mux;
 
   for (int I = 1; I < Argc; ++I) {
@@ -163,6 +187,10 @@ int main(int Argc, char **Argv) {
         return usageError("error: --max-clients needs at least %s", "1");
     } else if (std::strcmp(A, "--accept-limit") == 0 && I + 1 < Argc) {
       Mux.AcceptLimit = parseCountStrict(Argv[++I], "--accept-limit");
+    } else if (std::strcmp(A, "--store") == 0 && I + 1 < Argc) {
+      StorePath = Argv[++I];
+    } else if (std::strncmp(A, "--store=", 8) == 0) {
+      StorePath = A + 8;
     } else if (std::strcmp(A, "--serial") == 0) {
       Serial = true;
     } else if (std::strcmp(A, "--telemetry") == 0) {
@@ -196,7 +224,24 @@ int main(int Argc, char **Argv) {
   if (!ConnectPath.empty())
     return server::runClient(ConnectPath, std::cin, std::cout);
 
-  QueryServer Server({Jobs, Telemetry});
+  // Refuse to start on a store that cannot be opened: a resident server
+  // silently running cache-less would defeat the whole warm-start story.
+  std::unique_ptr<VerdictStore> Store;
+  if (!StorePath.empty()) {
+    std::string Error;
+    Store = VerdictStore::open(StorePath, &Error);
+    if (!Store) {
+      std::fprintf(stderr, "error: --store %s: %s\n", StorePath.c_str(),
+                   Error.c_str());
+      return 2;
+    }
+  }
+
+  ServerOptions SrvOpts;
+  SrvOpts.Jobs = Jobs;
+  SrvOpts.Telemetry = Telemetry;
+  SrvOpts.Store = Store.get();
+  QueryServer Server(SrvOpts);
   int Exit;
   if (ListenPath.empty()) {
     Exit = server::serveStdio(Server);

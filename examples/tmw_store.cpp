@@ -1,0 +1,156 @@
+//===- tmw_store.cpp - Verdict-store inspection and fsck CLI --------------------==//
+///
+/// Maintenance frontend of the persistent verdict store
+/// (store/VerdictStore.h) — the `fsck`/`ls` pair for the append-only
+/// verdict log that `litmus_tool --store` and `tmw_serve --store` share:
+///
+///   tmw_store ls <path>       list every frame-valid record: display
+///                             fingerprint, engine-version/duplicate
+///                             status, document size, and the query name
+///                             parsed out of the key.
+///   tmw_store verify <path>   fsck: walk the whole log, report record
+///                             and tail accounting. Exit 0 when the log
+///                             is clean, 1 when corruption was found (a
+///                             torn/garbage tail or an unreadable
+///                             header) — recovery is `open`'s truncation
+///                             or `compact`, both of which only drop
+///                             work, never change an answer.
+///   tmw_store compact <path>  rewrite the log keeping the first
+///                             occurrence of each current-engine-version
+///                             key; stale-version records, duplicates,
+///                             and any torn tail are dropped. Atomic
+///                             (write temp + fsync + rename).
+///
+/// Exit status: 0 success/clean, 1 verification found corruption (or the
+/// operation failed), 2 usage errors (unknown command, missing path).
+///
+//===----------------------------------------------------------------------===//
+
+#include "store/VerdictStore.h"
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+using namespace tmw;
+
+namespace {
+
+int usage() {
+  std::fprintf(stderr, "usage: tmw_store <ls|verify|compact> <path>\n");
+  return 2;
+}
+
+/// Pull one netstring field (`<len>:<bytes>`) off the front of \p Key.
+/// Returns false when the framing does not parse (foreign key layout).
+bool takeField(std::string_view &Key, std::string_view &Field) {
+  size_t Colon = Key.find(':');
+  if (Colon == std::string_view::npos || Colon == 0 || Colon > 19)
+    return false;
+  size_t Len = 0;
+  for (char C : Key.substr(0, Colon)) {
+    if (C < '0' || C > '9')
+      return false;
+    Len = Len * 10 + static_cast<size_t>(C - '0');
+  }
+  if (Key.size() - Colon - 1 < Len)
+    return false;
+  Field = Key.substr(Colon + 1, Len);
+  Key.remove_prefix(Colon + 1 + Len);
+  return true;
+}
+
+/// Human summary of one key: "<version> <opts> <name> [N specs]". The key
+/// layout is VerdictStore::makeKey's netstring sequence; a key that does
+/// not parse (never produced by this engine) prints as "<foreign>".
+std::string describeKey(std::string_view Key) {
+  std::string_view Version, Opts, Name, SpecCount;
+  if (!takeField(Key, Version) || !takeField(Key, Opts) ||
+      !takeField(Key, Name) || !takeField(Key, SpecCount))
+    return "<foreign key layout>";
+  std::string Out(Version);
+  Out += ' ';
+  Out.append(Opts.data(), Opts.size());
+  Out += " name=";
+  Out.append(Name.data(), Name.size());
+  Out += " specs=";
+  Out.append(SpecCount.data(), SpecCount.size());
+  return Out;
+}
+
+void printScanSummary(const char *Path, const StoreScan &Scan) {
+  std::printf("%s: %llu bytes, %llu records (%llu stale-version, "
+              "%llu duplicate), %llu tail bytes\n",
+              Path, static_cast<unsigned long long>(Scan.FileBytes),
+              static_cast<unsigned long long>(Scan.ValidRecords),
+              static_cast<unsigned long long>(Scan.StaleRecords),
+              static_cast<unsigned long long>(Scan.DuplicateRecords),
+              static_cast<unsigned long long>(Scan.TailBytes));
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc != 3)
+    return usage();
+  const char *Cmd = Argv[1];
+  const std::string Path = Argv[2];
+
+  if (std::strcmp(Cmd, "ls") == 0) {
+    StoreScan Scan = VerdictStore::scan(Path, [](const StoreRecord &R) {
+      std::printf("%s  %-6s %8zu B  %s\n",
+                  VerdictStore::fingerprint(R.Key).c_str(),
+                  R.Stale ? "stale" : (R.Duplicate ? "dup" : "ok"),
+                  R.Value.size(), describeKey(R.Key).c_str());
+    });
+    if (!Scan.Error.empty()) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                   Scan.Error.c_str());
+      return 1;
+    }
+    printScanSummary(Path.c_str(), Scan);
+    return 0;
+  }
+
+  if (std::strcmp(Cmd, "verify") == 0) {
+    StoreScan Scan = VerdictStore::scan(Path, nullptr);
+    if (!Scan.Error.empty()) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(),
+                   Scan.Error.c_str());
+      return 1;
+    }
+    printScanSummary(Path.c_str(), Scan);
+    if (Scan.TailBytes > 0) {
+      std::fprintf(stderr,
+                   "error: %s: %llu bytes of torn/garbage tail after the "
+                   "last valid record (open() truncates it; `tmw_store "
+                   "compact` rewrites the log)\n",
+                   Path.c_str(),
+                   static_cast<unsigned long long>(Scan.TailBytes));
+      return 1;
+    }
+    std::printf("%s: clean\n", Path.c_str());
+    return 0;
+  }
+
+  if (std::strcmp(Cmd, "compact") == 0) {
+    StoreScan Before;
+    std::string Error;
+    if (!VerdictStore::compact(Path, &Before, &Error)) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Error.c_str());
+      return 1;
+    }
+    std::printf("%s: kept %llu records; dropped %llu stale-version, "
+                "%llu duplicate, %llu tail bytes\n",
+                Path.c_str(),
+                static_cast<unsigned long long>(
+                    Before.ValidRecords - Before.StaleRecords -
+                    Before.DuplicateRecords),
+                static_cast<unsigned long long>(Before.StaleRecords),
+                static_cast<unsigned long long>(Before.DuplicateRecords),
+                static_cast<unsigned long long>(Before.TailBytes));
+    return 0;
+  }
+
+  return usage();
+}

@@ -115,6 +115,23 @@ struct PlanStats {
   }
 };
 
+/// Persistent verdict-store traffic of one request (store/VerdictStore.h).
+/// Like `PlanStats`, never part of the canonical JSON form: a stored hit
+/// and a cold evaluation must emit identical bytes, and these counters are
+/// exactly what differs. Telemetry appendix and `--stats` only.
+struct StoreTouch {
+  /// Store lookups performed / answered from the store / records appended
+  /// durably after a cold evaluation.
+  uint64_t Lookups = 0, Hits = 0, Appends = 0;
+
+  StoreTouch &operator+=(const StoreTouch &O) {
+    Lookups += O.Lookups;
+    Hits += O.Hits;
+    Appends += O.Appends;
+    return *this;
+  }
+};
+
 /// The engine's answer to one `CheckRequest`.
 struct CheckResponse {
   /// Request name (or the parsed program's name when the request left it
@@ -137,6 +154,9 @@ struct CheckResponse {
   /// Plan accounting for this request (zero under independent
   /// evaluation); like `Seconds`, not part of the canonical JSON form.
   PlanStats Plan;
+  /// Verdict-store traffic of this request (zero without a store); not
+  /// part of the canonical JSON form either.
+  StoreTouch Store;
 
   explicit operator bool() const { return Error.empty(); }
 };
@@ -150,6 +170,8 @@ struct BatchTelemetry {
   uint64_t Candidates = 0, Checks = 0;
   /// Plan accounting summed over the batch's requests.
   PlanStats Plan;
+  /// Verdict-store traffic summed over the batch's requests.
+  StoreTouch Store;
   /// Per-worker pool load; `BasesVisited` counts candidates here.
   std::vector<WorkerLoad> Workers;
 };

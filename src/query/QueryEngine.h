@@ -37,6 +37,8 @@
 
 namespace tmw {
 
+class VerdictStore;
+
 /// How a request's models are evaluated over each candidate.
 enum class EvalStrategy : uint8_t {
   /// Compile the request's spec set into one cross-spec evaluation plan
@@ -65,6 +67,14 @@ struct BatchOptions {
   /// Candidate evaluation strategy (Planned and Independent produce
   /// byte-identical canonical JSON; only the telemetry differs).
   EvalStrategy Strategy = EvalStrategy::Planned;
+  /// Optional persistent verdict store (store/VerdictStore.h) — the
+  /// second, cross-process caching tier below the in-memory caches: a
+  /// request whose exact content key (program source, canonical specs,
+  /// options, engine version) is stored skips enumeration entirely and
+  /// answers from disk. Like `Cache`, verdict-neutral by contract:
+  /// stored-hit, memory-hit, and cold evaluation emit byte-for-byte
+  /// identical canonical JSON. nullptr = no persistence.
+  VerdictStore *Store = nullptr;
 };
 
 /// One batch in flight over a caller-owned `WorkQueue<size_t>` — the seam
@@ -90,13 +100,15 @@ public:
   BatchRun(std::span<const CheckRequest> Requests, WorkQueue<size_t> &Q,
            SessionCache *Cache = nullptr,
            std::function<void(const CheckResponse &)> OnResult = nullptr,
-           EvalStrategy Strategy = EvalStrategy::Planned);
+           EvalStrategy Strategy = EvalStrategy::Planned,
+           VerdictStore *Store = nullptr);
   /// Unseeded mode: evaluation state for \p NumWorkers external workers;
   /// the caller schedules every request index exactly once via `runOne`.
   BatchRun(std::span<const CheckRequest> Requests, unsigned NumWorkers,
            SessionCache *Cache = nullptr,
            std::function<void(const CheckResponse &)> OnResult = nullptr,
-           EvalStrategy Strategy = EvalStrategy::Planned);
+           EvalStrategy Strategy = EvalStrategy::Planned,
+           VerdictStore *Store = nullptr);
   BatchRun(const BatchRun &) = delete;
   BatchRun &operator=(const BatchRun &) = delete;
 
@@ -128,6 +140,7 @@ private:
   SessionCache *Cache;
   std::function<void(const CheckResponse &)> OnResult;
   EvalStrategy Strategy;
+  VerdictStore *Store;
   /// Plan cache for cache-less planned batches, so a batch still compiles
   /// each distinct spec set once (a resident `Cache` subsumes it).
   std::optional<SessionCache> BatchPlans;

@@ -319,6 +319,16 @@ std::string tmw::responsesToJson(std::span<const CheckResponse> Responses,
     Out += ", \"cache_hits\": ";
     appendUint(Out, Telemetry->Plan.CacheHits);
     Out += '}';
+    // Persistent verdict-store traffic (zeros without a --store); like
+    // the plan block, telemetry-only so the canonical responses stay
+    // byte-identical with and without a store.
+    Out += ", \"store\": {\"lookups\": ";
+    appendUint(Out, Telemetry->Store.Lookups);
+    Out += ", \"hits\": ";
+    appendUint(Out, Telemetry->Store.Hits);
+    Out += ", \"appends\": ";
+    appendUint(Out, Telemetry->Store.Appends);
+    Out += '}';
     Out += ", \"workers\": [";
     bool First = true;
     for (const WorkerLoad &L : Telemetry->Workers) {

@@ -4,6 +4,9 @@
 
 #include "models/ModelRegistry.h"
 
+#include <algorithm>
+#include <vector>
+
 using namespace tmw;
 
 std::shared_ptr<const ParseResult> SessionCache::program(
@@ -14,7 +17,11 @@ std::shared_ptr<const ParseResult> SessionCache::program(
     auto It = Programs.find(Key);
     if (It != Programs.end()) {
       ++S.ProgramHits;
-      return It->second;
+      // Refresh the recency stamp: overflow evicts the least-recently-
+      // touched half, so a hot working set survives an adversarial churn
+      // of one-off sources.
+      It->second.Gen = ++NextGen;
+      return It->second.Parse;
     }
     ++S.ProgramMisses;
   }
@@ -25,12 +32,31 @@ std::shared_ptr<const ParseResult> SessionCache::program(
   auto Parsed = std::make_shared<const ParseResult>(parseProgram(Source));
   std::lock_guard<std::mutex> Lock(Mu);
   if (Programs.size() >= MaxPrograms) {
-    Programs.clear();
+    // Evict only the least-recently-touched half (wholesale dropping all
+    // ~MaxPrograms entries caused a thundering re-parse of the whole
+    // working set on the next batch). Generations are unique, so exactly
+    // `Evict` entries — the oldest — go. Verdict-neutral: in-flight
+    // requests keep their shared_ptrs, dropped entries just re-parse.
+    size_t Evict = Programs.size() - Programs.size() / 2;
+    std::vector<uint64_t> Gens;
+    Gens.reserve(Programs.size());
+    for (const auto &KV : Programs)
+      Gens.push_back(KV.second.Gen);
+    std::nth_element(Gens.begin(), Gens.begin() + (Evict - 1), Gens.end());
+    uint64_t Cut = Gens[Evict - 1];
+    for (auto It = Programs.begin(); It != Programs.end();) {
+      if (It->second.Gen <= Cut)
+        It = Programs.erase(It);
+      else
+        ++It;
+    }
     ++S.ProgramEvictions;
+    S.ProgramsEvicted += Evict;
   }
-  auto [It, Inserted] = Programs.emplace(std::move(Key), Parsed);
+  auto [It, Inserted] =
+      Programs.emplace(std::move(Key), ProgramEntry{Parsed, ++NextGen});
   S.ProgramsCached = Programs.size();
-  return Inserted ? Parsed : It->second;
+  return Inserted ? Parsed : It->second.Parse;
 }
 
 std::shared_ptr<const MemoryModel> SessionCache::model(

@@ -16,11 +16,15 @@
 /// submitted bad program from scratch every batch.
 ///
 /// The program cache is bounded (`MaxPrograms`); when an insert would
-/// exceed the bound the whole program map is dropped and rebuilt on
-/// demand — crude, but correct under the content-addressed contract
-/// (nothing can be stale, a dropped entry just re-parses), and it keeps
-/// an adversarial stream of unique sources from growing the server
-/// without bound. The model cache is tiny (spec strings) and unbounded.
+/// exceed the bound, the *least-recently-touched half* of the entries is
+/// evicted (each entry carries a generation stamp, refreshed on hit) —
+/// correct under the content-addressed contract (nothing can be stale, a
+/// dropped entry just re-parses), and it keeps an adversarial stream of
+/// unique sources from growing the server without bound. Half-eviction
+/// replaces the original wholesale drop, which re-parsed the *entire*
+/// resident working set on the next batch — a thundering re-parse spike
+/// under the multiplexer when many rival clients share the one cache.
+/// The model cache is tiny (spec strings) and unbounded.
 ///
 /// Thread-safe: one mutex guards both maps; lookups are cheap next to
 /// enumeration, so the lock is uncontended in practice.
@@ -53,8 +57,9 @@ public:
     uint64_t PlanHits = 0, PlanMisses = 0;
     /// Entries currently resident.
     uint64_t ProgramsCached = 0, ModelsCached = 0, PlansCached = 0;
-    /// Times the bounded program map was dropped wholesale.
-    uint64_t ProgramEvictions = 0;
+    /// Times the bounded program map overflowed (one half-eviction each)
+    /// and total entries dropped across those evictions.
+    uint64_t ProgramEvictions = 0, ProgramsEvicted = 0;
   };
 
   explicit SessionCache(size_t MaxPrograms = kDefaultMaxPrograms)
@@ -89,10 +94,17 @@ public:
   static constexpr size_t kDefaultMaxPrograms = 4096;
 
 private:
+  /// One bounded-map entry: the parse plus its recency stamp (refreshed
+  /// on hit), so overflow evicts the least-recently-touched half.
+  struct ProgramEntry {
+    std::shared_ptr<const ParseResult> Parse;
+    uint64_t Gen = 0;
+  };
+
   const size_t MaxPrograms;
   mutable std::mutex Mu;
-  std::unordered_map<std::string, std::shared_ptr<const ParseResult>>
-      Programs;
+  std::unordered_map<std::string, ProgramEntry> Programs;
+  uint64_t NextGen = 0;
   std::unordered_map<std::string, std::shared_ptr<const MemoryModel>>
       Models;
   /// Compiled evaluation plans keyed by canonical spec-set (tiny, like

@@ -20,10 +20,12 @@ class tmw::ServerBatch {
 public:
   ServerBatch(uint64_t Id, std::vector<CheckRequest> Owned,
               std::span<const CheckRequest> Requests, unsigned NumWorkers,
-              SessionCache *Cache, QueryServer::BatchDone OnDone,
-              unsigned FairnessCap)
+              SessionCache *Cache, VerdictStore *Store,
+              QueryServer::BatchDone OnDone, unsigned FairnessCap)
       : Id(Id), Owned(std::move(Owned)), Requests(Requests),
-        Run(Requests, NumWorkers, Cache), OnDone(std::move(OnDone)),
+        Run(Requests, NumWorkers, Cache, nullptr, EvalStrategy::Planned,
+            Store),
+        OnDone(std::move(OnDone)),
         Outstanding(Requests.size()),
         NextToSeed(FairnessCap == 0 ? Requests.size()
                                     : std::min<size_t>(FairnessCap,
@@ -123,8 +125,8 @@ uint64_t QueryServer::submitSpan(std::span<const CheckRequest> Requests,
     std::lock_guard<std::mutex> Lock(Mu);
     Id = ++NextBatchId;
     auto Batch = std::make_unique<ServerBatch>(
-        Id, std::move(Owned), Requests, Opts.Jobs, &Cache, std::move(OnDone),
-        FairnessCap);
+        Id, std::move(Owned), Requests, Opts.Jobs, &Cache, Opts.Store,
+        std::move(OnDone), FairnessCap);
     B = Batch.get();
     Active.emplace(Id, std::move(Batch));
     ++S.Batches;
@@ -233,5 +235,9 @@ ServerStats QueryServer::stats() const {
     Out = S;
   }
   Out.Cache = Cache.stats();
+  if (Opts.Store) {
+    Out.HasStore = true;
+    Out.Store = Opts.Store->counters();
+  }
   return Out;
 }

@@ -50,6 +50,7 @@
 
 #include "query/QueryEngine.h"
 #include "query/SessionCache.h"
+#include "store/VerdictStore.h"
 
 #include <iosfwd>
 #include <memory>
@@ -69,6 +70,13 @@ struct ServerOptions {
   bool Telemetry = false;
   /// Program-cache bound (see SessionCache).
   size_t MaxCachedPrograms = SessionCache::kDefaultMaxPrograms;
+  /// Optional persistent verdict store shared by every batch of every
+  /// connection (store/VerdictStore.h; caller-owned, must outlive the
+  /// server). Concurrent lookups and the single guarded append path make
+  /// one store safe under the multiplexer's rival connections, and the
+  /// verdict-neutrality contract keeps every byte stream identical to a
+  /// store-less run.
+  VerdictStore *Store = nullptr;
 };
 
 /// Lifetime counters of one server (cache stats included).
@@ -80,6 +88,10 @@ struct ServerStats {
   /// Batches cancelled mid-flight (client disconnected).
   uint64_t CancelledBatches = 0;
   SessionCache::Stats Cache;
+  /// Verdict-store lifetime counters (all zero when no store is attached;
+  /// `HasStore` disambiguates "no store" from "store never touched").
+  bool HasStore = false;
+  StoreCounters Store;
 };
 
 class ServerBatch; // internal: one concurrently-scheduled batch

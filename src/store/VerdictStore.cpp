@@ -1,0 +1,420 @@
+//===- VerdictStore.cpp - Persistent content-addressed verdict store -----------==//
+///
+/// On-disk layout (all integers little-endian):
+///
+///   header   : "TMWSTORE" (8 bytes)  u32 format-version  u32 zero
+///   record*  : u32 key-len  u32 value-len  u64 fnv1a64(lens ‖ key ‖ value)
+///              key bytes  value bytes
+///
+/// The format version guards the *framing* (a mismatched file is refused
+/// at open — a different layout cannot be mis-parsed as records); the
+/// engine version guards the *semantics* and lives inside each key, so a
+/// store written by an older engine opens fine and simply misses.
+///
+//===----------------------------------------------------------------------===//
+
+#include "store/VerdictStore.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace tmw;
+
+namespace {
+
+constexpr char kMagic[8] = {'T', 'M', 'W', 'S', 'T', 'O', 'R', 'E'};
+constexpr uint32_t kFormatVersion = 1;
+constexpr size_t kHeaderBytes = 16;
+constexpr size_t kFrameBytes = 16; // key-len + value-len + checksum
+/// Sanity bound per field; a "length" beyond it is framing garbage.
+constexpr uint64_t kMaxFieldBytes = 1ull << 30;
+
+uint64_t fnv1a64(uint64_t H, const void *Data, size_t N) {
+  const unsigned char *P = static_cast<const unsigned char *>(Data);
+  for (size_t I = 0; I < N; ++I) {
+    H ^= P[I];
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+constexpr uint64_t kFnvOffset = 14695981039346656037ull;
+
+void putU32(std::string &Out, uint32_t V) {
+  for (int I = 0; I < 4; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+void putU64(std::string &Out, uint64_t V) {
+  for (int I = 0; I < 8; ++I)
+    Out.push_back(static_cast<char>((V >> (8 * I)) & 0xff));
+}
+uint32_t getU32(const char *P) {
+  uint32_t V = 0;
+  for (int I = 0; I < 4; ++I)
+    V |= static_cast<uint32_t>(static_cast<unsigned char>(P[I])) << (8 * I);
+  return V;
+}
+uint64_t getU64(const char *P) {
+  uint64_t V = 0;
+  for (int I = 0; I < 8; ++I)
+    V |= static_cast<uint64_t>(static_cast<unsigned char>(P[I])) << (8 * I);
+  return V;
+}
+
+/// Checksum of one record: the two length words then both payloads, so a
+/// frame whose lengths were themselves torn cannot validate.
+uint64_t recordSum(std::string_view Key, std::string_view Value) {
+  std::string Lens;
+  putU32(Lens, static_cast<uint32_t>(Key.size()));
+  putU32(Lens, static_cast<uint32_t>(Value.size()));
+  uint64_t H = fnv1a64(kFnvOffset, Lens.data(), Lens.size());
+  H = fnv1a64(H, Key.data(), Key.size());
+  return fnv1a64(H, Value.data(), Value.size());
+}
+
+std::string frameRecord(std::string_view Key, std::string_view Value) {
+  std::string Out;
+  Out.reserve(kFrameBytes + Key.size() + Value.size());
+  putU32(Out, static_cast<uint32_t>(Key.size()));
+  putU32(Out, static_cast<uint32_t>(Value.size()));
+  putU64(Out, recordSum(Key, Value));
+  Out += Key;
+  Out += Value;
+  return Out;
+}
+
+std::string headerBytes() {
+  std::string Out(kMagic, sizeof(kMagic));
+  putU32(Out, kFormatVersion);
+  putU32(Out, 0);
+  return Out;
+}
+
+bool writeAll(int Fd, const char *Data, size_t N) {
+  while (N > 0) {
+    ssize_t W = ::write(Fd, Data, N);
+    if (W < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Data += W;
+    N -= static_cast<size_t>(W);
+  }
+  return true;
+}
+
+bool readWholeFile(int Fd, std::string &Out, std::string *Error) {
+  Out.clear();
+  char Buf[1 << 16];
+  for (;;) {
+    ssize_t N = ::read(Fd, Buf, sizeof(Buf));
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::strerror(errno);
+      return false;
+    }
+    if (N == 0)
+      return true;
+    Out.append(Buf, static_cast<size_t>(N));
+  }
+}
+
+/// The netstring field encoding of `makeKey`: `<decimal len>:<bytes>`.
+void putField(std::string &Out, std::string_view S) {
+  Out += std::to_string(S.size());
+  Out += ':';
+  Out.append(S.data(), S.size());
+}
+
+std::string versionField(uint32_t Version) {
+  std::string Out;
+  putField(Out, "tmw" + std::to_string(Version));
+  return Out;
+}
+
+/// Validate the 16-byte header. Returns false with a one-line error.
+bool checkHeader(const std::string &Data, std::string *Error) {
+  if (Data.size() < kHeaderBytes ||
+      std::memcmp(Data.data(), kMagic, sizeof(kMagic)) != 0) {
+    if (Error)
+      *Error = "not a tmw verdict store (corrupt or foreign header)";
+    return false;
+  }
+  uint32_t Version = getU32(Data.data() + sizeof(kMagic));
+  if (Version != kFormatVersion) {
+    if (Error)
+      *Error = "store format version " + std::to_string(Version) +
+               ", this build reads version " + std::to_string(kFormatVersion);
+    return false;
+  }
+  return true;
+}
+
+/// Walk the records of \p Data (which passed `checkHeader`), calling
+/// \p Fn for each frame-valid record. Returns the offset one past the
+/// last valid record — anything beyond it is torn/garbage tail.
+uint64_t walkRecords(
+    const std::string &Data,
+    const std::function<void(std::string_view Key, std::string_view Value,
+                             uint64_t Offset)> &Fn) {
+  uint64_t Off = kHeaderBytes;
+  while (Data.size() - Off >= kFrameBytes) {
+    const char *P = Data.data() + Off;
+    uint64_t KeyLen = getU32(P), ValLen = getU32(P + 4);
+    uint64_t Sum = getU64(P + 8);
+    if (KeyLen > kMaxFieldBytes || ValLen > kMaxFieldBytes ||
+        KeyLen + ValLen > Data.size() - Off - kFrameBytes)
+      break;
+    std::string_view Key(P + kFrameBytes, KeyLen);
+    std::string_view Value(P + kFrameBytes + KeyLen, ValLen);
+    if (recordSum(Key, Value) != Sum)
+      break;
+    if (Fn)
+      Fn(Key, Value, Off);
+    Off += kFrameBytes + KeyLen + ValLen;
+  }
+  return Off;
+}
+
+} // namespace
+
+VerdictStore::VerdictStore(std::string Path, int Fd)
+    : Path(std::move(Path)), Fd(Fd) {}
+
+VerdictStore::~VerdictStore() {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+std::unique_ptr<VerdictStore> VerdictStore::open(const std::string &Path,
+                                                 std::string *Error) {
+  int Fd = ::open(Path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::strerror(errno);
+    return nullptr;
+  }
+  std::string Data;
+  if (!readWholeFile(Fd, Data, Error)) {
+    ::close(Fd);
+    return nullptr;
+  }
+
+  std::unique_ptr<VerdictStore> S(new VerdictStore(Path, Fd));
+  if (Data.empty()) {
+    // Fresh store: write the header now so every later open sees a wellformed
+    // file even if no record is ever appended.
+    std::string H = headerBytes();
+    if (!writeAll(Fd, H.data(), H.size()) || ::fsync(Fd) != 0) {
+      if (Error)
+        *Error = std::strerror(errno);
+      return nullptr; // ~VerdictStore closes Fd
+    }
+    S->End = kHeaderBytes;
+    return S;
+  }
+  if (!checkHeader(Data, Error))
+    return nullptr;
+
+  // Rebuild the index: first record of a key wins (a duplicate is
+  // byte-identical by the determinism contract, and first-wins makes
+  // recovery insensitive to where a crash cut the log). Keys stamped by
+  // another engine version stay on disk but are never served.
+  const std::string Current = versionField(kEngineVersion);
+  uint64_t End = walkRecords(
+      Data, [&](std::string_view Key, std::string_view Value, uint64_t) {
+        ++S->C.RecoveredRecords;
+        if (Key.substr(0, Current.size()) != Current) {
+          ++S->C.StaleRecords;
+          return;
+        }
+        auto [It, Inserted] =
+            S->Index.emplace(std::string(Key), std::string(Value));
+        (void)It;
+        if (!Inserted)
+          ++S->C.DuplicateRecords;
+      });
+  if (End < Data.size()) {
+    // Torn or garbage tail (crash mid-append, or trailing junk): truncate
+    // back to the last valid record so the next append starts clean.
+    S->C.TruncatedTailBytes = Data.size() - End;
+    if (::ftruncate(Fd, static_cast<off_t>(End)) != 0 || ::fsync(Fd) != 0) {
+      if (Error)
+        *Error = std::strerror(errno);
+      return nullptr;
+    }
+  }
+  S->End = End;
+  if (::lseek(Fd, static_cast<off_t>(End), SEEK_SET) < 0) {
+    if (Error)
+      *Error = std::strerror(errno);
+    return nullptr;
+  }
+  return S;
+}
+
+std::optional<std::string> VerdictStore::lookup(const std::string &Key) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  auto It = Index.find(Key);
+  if (It == Index.end()) {
+    ++C.Misses;
+    return std::nullopt;
+  }
+  ++C.Hits;
+  return It->second;
+}
+
+bool VerdictStore::writeRecord(const std::string &Key,
+                               const std::string &Value) {
+  std::string Rec = frameRecord(Key, Value);
+  if (writeAll(Fd, Rec.data(), Rec.size()) && ::fsync(Fd) == 0) {
+    End += Rec.size();
+    return true;
+  }
+  // Partial write: roll the file back to the pre-record offset so we never
+  // leave a torn record *ahead* of future appends (records after garbage
+  // would be unreachable — recovery truncates at the first bad frame).
+  (void)::ftruncate(Fd, static_cast<off_t>(End));
+  (void)::lseek(Fd, static_cast<off_t>(End), SEEK_SET);
+  return false;
+}
+
+bool VerdictStore::append(const std::string &Key,
+                          const std::string &CanonicalJson) {
+  std::lock_guard<std::mutex> Lock(Mu);
+  // Immutable entries: a resident key needs no second record. (Two workers
+  // racing the same cold key both evaluate — deterministically to the same
+  // bytes — and the loser lands here.)
+  if (!Index.emplace(Key, CanonicalJson).second)
+    return false;
+  if (!writeRecord(Key, CanonicalJson)) {
+    // Degrade to memory-resident: the answer stays correct and served for
+    // this process's lifetime, it just is not durable.
+    ++C.AppendErrors;
+    return false;
+  }
+  ++C.Appends;
+  return true;
+}
+
+StoreCounters VerdictStore::counters() const {
+  std::lock_guard<std::mutex> Lock(Mu);
+  StoreCounters Out = C;
+  Out.Records = Index.size();
+  return Out;
+}
+
+std::string VerdictStore::makeKey(std::string_view Name,
+                                  std::string_view Source,
+                                  std::span<const std::string> CanonicalSpecs,
+                                  bool Explain, bool WantOutcomes,
+                                  uint64_t CandidateCap, uint32_t Version) {
+  // Netstring-framed fields: no concatenation of distinct queries can
+  // collide, whatever bytes names/sources contain.
+  std::string Key = versionField(Version);
+  std::string Opts = "e";
+  Opts += Explain ? '1' : '0';
+  Opts += ",o";
+  Opts += WantOutcomes ? '1' : '0';
+  Opts += ",cap";
+  Opts += std::to_string(CandidateCap);
+  putField(Key, Opts);
+  putField(Key, Name);
+  putField(Key, std::to_string(CanonicalSpecs.size()));
+  for (const std::string &Spec : CanonicalSpecs)
+    putField(Key, Spec);
+  putField(Key, Source);
+  return Key;
+}
+
+std::string VerdictStore::fingerprint(std::string_view Key) {
+  uint64_t H = fnv1a64(kFnvOffset, Key.data(), Key.size());
+  char Buf[17];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+StoreScan
+VerdictStore::scan(const std::string &Path,
+                   const std::function<void(const StoreRecord &)> &Fn) {
+  StoreScan Out;
+  int Fd = ::open(Path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (Fd < 0) {
+    Out.Error = std::strerror(errno);
+    return Out;
+  }
+  std::string Data;
+  bool ReadOk = readWholeFile(Fd, Data, &Out.Error);
+  ::close(Fd);
+  if (!ReadOk)
+    return Out;
+  Out.FileBytes = Data.size();
+  if (!checkHeader(Data, &Out.Error))
+    return Out;
+
+  const std::string Current = versionField(kEngineVersion);
+  std::unordered_map<std::string_view, int> Seen;
+  uint64_t End = walkRecords(
+      Data, [&](std::string_view Key, std::string_view Value, uint64_t Off) {
+        StoreRecord R;
+        R.Key = Key;
+        R.Value = Value;
+        R.Offset = Off;
+        R.Stale = Key.substr(0, Current.size()) != Current;
+        R.Duplicate = ++Seen[Key] > 1;
+        ++Out.ValidRecords;
+        Out.StaleRecords += R.Stale;
+        Out.DuplicateRecords += R.Duplicate;
+        if (Fn)
+          Fn(R);
+      });
+  Out.TailBytes = Data.size() - End;
+  return Out;
+}
+
+bool VerdictStore::compact(const std::string &Path, StoreScan *Result,
+                           std::string *Error) {
+  // Collect the survivors (first occurrence of each current-version key)
+  // through the read-only scan, then swap in a rewritten log atomically.
+  std::string Rewritten = headerBytes();
+  StoreScan Scan = VerdictStore::scan(Path, [&](const StoreRecord &R) {
+    if (!R.Stale && !R.Duplicate)
+      Rewritten += frameRecord(R.Key, R.Value);
+  });
+  if (Result)
+    *Result = Scan;
+  if (!Scan.Error.empty()) {
+    if (Error)
+      *Error = Scan.Error;
+    return false;
+  }
+
+  std::string Tmp = Path + ".compact.tmp";
+  int Fd = ::open(Tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                  0644);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::strerror(errno);
+    return false;
+  }
+  bool Ok = writeAll(Fd, Rewritten.data(), Rewritten.size()) &&
+            ::fsync(Fd) == 0;
+  ::close(Fd);
+  if (Ok && ::rename(Tmp.c_str(), Path.c_str()) != 0)
+    Ok = false;
+  if (!Ok) {
+    if (Error)
+      *Error = std::strerror(errno);
+    (void)::unlink(Tmp.c_str());
+    return false;
+  }
+  return true;
+}

@@ -394,6 +394,42 @@ TEST(SessionCache, ContentAddressedAndFailureCaching) {
   EXPECT_FALSE(Error.empty());
 }
 
+TEST(SessionCache, OverflowEvictsOnlyLeastRecentHalf) {
+  // The bounded program map drops only its least-recently-touched half on
+  // overflow (not the whole map): the hot working set survives a churn of
+  // one-off sources, and the accounting says exactly what went.
+  SessionCache C(/*MaxPrograms=*/8);
+  auto Src = [](int V) {
+    return "name P" + std::to_string(V) + "\nthread 0\n  store x " +
+           std::to_string(V + 1) + "\n  load y\npost reg 0 r1 0\n";
+  };
+  for (int V = 0; V < 8; ++V)
+    C.program(Src(V));
+  // Touch the newer half so recency diverges from insertion order.
+  for (int V = 4; V < 8; ++V)
+    C.program(Src(V));
+  SessionCache::Stats St = C.stats();
+  ASSERT_EQ(St.ProgramsCached, 8u);
+  ASSERT_EQ(St.ProgramEvictions, 0u);
+
+  // The 9th insert overflows: exactly the stale half (P0..P3) goes.
+  C.program(Src(8));
+  St = C.stats();
+  EXPECT_EQ(St.ProgramEvictions, 1u);
+  EXPECT_EQ(St.ProgramsEvicted, 4u);
+  EXPECT_EQ(St.ProgramsCached, 5u); // P4..P7 + P8
+
+  // The recently-touched half still hits; the evicted half re-parses.
+  uint64_t Misses = St.ProgramMisses, Hits = St.ProgramHits;
+  for (int V = 4; V < 9; ++V)
+    C.program(Src(V));
+  St = C.stats();
+  EXPECT_EQ(St.ProgramMisses, Misses);
+  EXPECT_EQ(St.ProgramHits, Hits + 5);
+  C.program(Src(0));
+  EXPECT_EQ(C.stats().ProgramMisses, Misses + 1);
+}
+
 TEST(QueryEngine, CachedRunsMatchUncachedBytes) {
   // BatchOptions::Cache is verdict-neutral: same requests, same bytes,
   // jobs and cache state notwithstanding.
