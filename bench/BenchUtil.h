@@ -18,6 +18,7 @@
 #include "synth/Conformance.h"
 
 #include <charconv>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +49,24 @@ inline unsigned parseJobsStrict(const char *Value, const char *What) {
   auto [P, Ec] = std::from_chars(Value, End, Parsed);
   if (Ec != std::errc() || P != End || Parsed == 0) {
     std::fprintf(stderr, "error: %s %s: expected a positive integer\n",
+                 What, Value);
+    std::exit(2);
+  }
+  return Parsed;
+}
+
+/// Strictly parse one non-negative count value (digits only, in-range;
+/// 0 is a legitimate explicit value — "unlimited" for the cap-style
+/// flags). The one parser behind every tool count flag (`--cap`,
+/// `--bases`, `--max-clients`, `--max-findings`, ...): a malformed or
+/// out-of-range value is a one-line diagnostic naming \p What + exit 2,
+/// never a silently-parsed 0.
+inline uint64_t parseCountStrict(const char *Value, const char *What) {
+  const char *End = Value + std::strlen(Value);
+  uint64_t Parsed = 0;
+  auto [P, Ec] = std::from_chars(Value, End, Parsed);
+  if (Ec != std::errc() || P != End || Value == End) {
+    std::fprintf(stderr, "error: %s %s: expected a non-negative integer\n",
                  What, Value);
     std::exit(2);
   }

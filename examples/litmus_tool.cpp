@@ -42,6 +42,19 @@
 ///                    "independent" (reference per-model loop). The
 ///                    canonical JSON is byte-identical either way — the
 ///                    flag exists so CI can prove it with cmp.
+///   --specialize <s> "on" (default) or "off": specialize each planned
+///                    evaluation to the program's static vocabulary facts
+///                    (lint/Lint.h), pre-discharging footprint-disjoint
+///                    obligations once per program. Verdict-neutral like
+///                    --eval — byte-identical canonical JSON either way,
+///                    and CI proves it with cmp.
+///   --lint           statically lint the batch's programs (lint/Lint.h)
+///                    instead of evaluating them: structured findings
+///                    (unused locations, unbalanced txn/lock regions, bad
+///                    RMW pairs, impossible postconditions, ...) print as
+///                    file:line diagnostics. Exit 1 when anything was
+///                    found, 0 when the batch lints clean. (tmw_lint is
+///                    the full-featured frontend with --json.)
 ///   --store <path>   persistent verdict store (store/VerdictStore.h):
 ///                    answers whose exact content key (program source,
 ///                    canonical specs, options, engine version) is on
@@ -58,7 +71,10 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchUtil.h"
+#include "lint/Lint.h"
+#include "lint/LintIO.h"
 #include "litmus/Library.h"
+#include "litmus/Parser.h"
 #include "models/ModelRegistry.h"
 #include "query/QueryEngine.h"
 #include "query/QueryIO.h"
@@ -146,15 +162,6 @@ void printResponse(const CheckResponse &Resp, const std::string &File,
   std::printf("\n");
 }
 
-/// Strict `--cap` value parse: digits only, in-range (0 = unlimited is a
-/// legitimate explicit value). The old bare `strtoull` silently turned
-/// `--cap foo` into 0 — i.e. a typo'd cap *removed* the cap.
-bool parseCap(const char *Value, uint64_t &Out) {
-  const char *End = Value + std::strlen(Value);
-  auto [P, Ec] = std::from_chars(Value, End, Out);
-  return Ec == std::errc() && P == End && Value != End;
-}
-
 /// Split one `--model` value on commas into \p Specs via the registry's
 /// shared strict parser (ModelRegistry::splitSpecList — `tmw_audit` uses
 /// the same one), diagnosing the rejected value.
@@ -173,11 +180,24 @@ int main(int Argc, char **Argv) {
   std::vector<std::string> ModelSpecs;
   std::vector<const char *> Files;
   bool Corpus = false, Json = false, Explain = false, Outcomes = false;
-  bool Telemetry = false;
+  bool Telemetry = false, Lint = false, Specialize = true;
   unsigned Jobs = 1;
   uint64_t Cap = 0;
   std::string StorePath;
   EvalStrategy Strategy = EvalStrategy::Planned;
+  auto ParseSpecialize = [&](const char *Value) {
+    if (std::strcmp(Value, "on") == 0) {
+      Specialize = true;
+      return true;
+    }
+    if (std::strcmp(Value, "off") == 0) {
+      Specialize = false;
+      return true;
+    }
+    std::fprintf(stderr, "error: --specialize %s: expected 'on' or 'off'\n",
+                 Value);
+    return false;
+  };
   auto ParseEval = [&](const char *Value) {
     if (std::strcmp(Value, "planned") == 0) {
       Strategy = EvalStrategy::Planned;
@@ -207,6 +227,14 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(A, "--eval=", 7) == 0) {
       if (!ParseEval(A + 7))
         return 2;
+    } else if (std::strcmp(A, "--specialize") == 0 && I + 1 < Argc) {
+      if (!ParseSpecialize(Argv[++I]))
+        return 2;
+    } else if (std::strncmp(A, "--specialize=", 13) == 0) {
+      if (!ParseSpecialize(A + 13))
+        return 2;
+    } else if (std::strcmp(A, "--lint") == 0) {
+      Lint = true;
     } else if (std::strcmp(A, "--corpus") == 0) {
       Corpus = true;
     } else if (std::strcmp(A, "--json") == 0) {
@@ -222,19 +250,9 @@ int main(int Argc, char **Argv) {
     } else if (std::strncmp(A, "--jobs=", 7) == 0) {
       Jobs = bench::parseJobsStrict(A + 7, "--jobs");
     } else if (std::strcmp(A, "--cap") == 0 && I + 1 < Argc) {
-      if (!parseCap(Argv[++I], Cap)) {
-        std::fprintf(stderr,
-                     "error: --cap %s: expected a non-negative integer\n",
-                     Argv[I]);
-        return 2;
-      }
+      Cap = bench::parseCountStrict(Argv[++I], "--cap");
     } else if (std::strncmp(A, "--cap=", 6) == 0) {
-      if (!parseCap(A + 6, Cap)) {
-        std::fprintf(stderr,
-                     "error: --cap %s: expected a non-negative integer\n",
-                     A + 6);
-        return 2;
-      }
+      Cap = bench::parseCountStrict(A + 6, "--cap");
     } else if (std::strcmp(A, "--store") == 0 && I + 1 < Argc) {
       StorePath = Argv[++I];
     } else if (std::strncmp(A, "--store=", 8) == 0) {
@@ -307,6 +325,45 @@ int main(int Argc, char **Argv) {
     Add(std::move(R), "");
   }
 
+  // --lint: static analysis instead of evaluation. Parse failures count
+  // as findings (a program that does not parse certainly does not lint
+  // clean) and print as the usual file:line diagnostics.
+  if (Lint) {
+    int Findings = 0;
+    for (size_t I = 0; I < Requests.size(); ++I) {
+      const CheckRequest &R = Requests[I];
+      ParseResult Parsed;
+      const Program *P = nullptr;
+      std::string Name;
+      if (!R.Source.empty()) {
+        Parsed = parseProgram(R.Source);
+        if (!Parsed) {
+          std::fprintf(stderr, "%s:%u: error: %s\n",
+                       FileOf[I].empty() ? "<input>" : FileOf[I].c_str(),
+                       Parsed.ErrorLine, Parsed.Error.c_str());
+          ++Findings;
+          continue;
+        }
+        P = &Parsed.Prog;
+      } else {
+        const CorpusEntry *E = findCorpusEntry(R.Corpus);
+        if (!E)
+          continue; // Corpus names come from the corpus walk itself.
+        P = &E->Prog;
+      }
+      LintedProgram L;
+      L.Name = FileOf[I].empty() ? P->Name : FileOf[I];
+      L.Report = lintProgram(*P);
+      L.Facts = computeFacts(*P);
+      Findings += static_cast<int>(L.Report.Findings.size());
+      std::fputs(lintFindingsToText(L).c_str(), stdout);
+    }
+    if (Findings == 0)
+      std::printf("%zu program%s lint clean\n", Requests.size(),
+                  Requests.size() == 1 ? "" : "s");
+    return Findings ? 1 : 0;
+  }
+
   // Strict --store diagnostics: a store that cannot be opened (unwritable
   // path, corrupt header, format-version mismatch) is a usage error, not
   // a silent fall-through to cache-less evaluation.
@@ -321,8 +378,8 @@ int main(int Argc, char **Argv) {
     }
   }
 
-  QueryEngine Engine(
-      {.Jobs = Jobs, .Strategy = Strategy, .Store = Store.get()});
+  QueryEngine Engine({.Jobs = Jobs, .Strategy = Strategy,
+                      .Specialize = Specialize, .Store = Store.get()});
   int Failed = 0;
 
   if (Json) {

@@ -1,10 +1,11 @@
 //===- tmw_audit.cpp - Metadata-contract auditor CLI --------------------------==//
 ///
 /// CLI frontend of the contract auditor (audit/ContractAudit.h): verifies
-/// the `Axiom::Salt` term-identity contract, memoization coherence, and
-/// `invalidateTransactionalState()` honesty for every axiom of the
-/// audited model specs, differentially over probe executions from the
-/// litmus corpus and every architecture's enumerated vocabulary.
+/// the `Axiom::Salt` term-identity contract, memoization coherence,
+/// `invalidateTransactionalState()` honesty, and `Axiom::Footprint`
+/// vocabulary soundness for every axiom of the audited model specs,
+/// differentially over probe executions from the litmus corpus and every
+/// architecture's enumerated vocabulary.
 ///
 /// Usage:   ./tmw_audit [options]
 /// Example: ./tmw_audit --json > contract_audit.json
@@ -28,6 +29,9 @@
 ///                     0 = unlimited).
 ///   --corpus-cap N    cap on candidates per corpus entry (default 12,
 ///                     0 = unlimited).
+///   --max-findings N  stop recording findings past N (default 64,
+///                     0 = unlimited; the exit status still reflects
+///                     every finding).
 ///   --no-corpus       skip the corpus probes.
 ///   --no-vocab        skip the vocabulary probes (and with them the
 ///                     invalidation pass, which needs placements).
@@ -38,11 +42,11 @@
 ///
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
 #include "audit/AuditIO.h"
 #include "audit/ContractAudit.h"
 #include "models/ModelRegistry.h"
 
-#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -51,15 +55,6 @@
 using namespace tmw;
 
 namespace {
-
-/// Strict non-negative integer parse (digits only, in range), in the
-/// spirit of the --jobs/--cap parsers of the other frontends: a typo'd
-/// cap must be a usage error, not a silently-unlimited run.
-bool parseCount(const char *Value, uint64_t &Out) {
-  const char *End = Value + std::strlen(Value);
-  auto [P, Ec] = std::from_chars(Value, End, Out);
-  return Ec == std::errc() && P == End && Value != End;
-}
 
 bool addModels(const char *Value, std::vector<std::string> &Specs) {
   std::string Error;
@@ -77,14 +72,16 @@ void printText(const AuditReport &R) {
   std::printf("\n");
   std::printf(
       "  %llu probes (%llu corpus, %llu vocabulary), %llu bases x "
-      "%llu placements, %llu units, %llu term evaluations\n",
+      "%llu placements, %llu units, %llu term evaluations, %llu "
+      "footprint checks\n",
       static_cast<unsigned long long>(R.Counters.Probes),
       static_cast<unsigned long long>(R.Counters.CorpusProbes),
       static_cast<unsigned long long>(R.Counters.VocabProbes),
       static_cast<unsigned long long>(R.Counters.Bases),
       static_cast<unsigned long long>(R.Counters.Placements),
       static_cast<unsigned long long>(R.Counters.Units),
-      static_cast<unsigned long long>(R.Counters.TermEvals));
+      static_cast<unsigned long long>(R.Counters.TermEvals),
+      static_cast<unsigned long long>(R.Counters.FootprintChecks));
 
   for (const AuditFinding &F : R.Findings) {
     std::printf("FINDING [%s] %s / %s", auditPassName(F.Pass),
@@ -105,8 +102,8 @@ void printText(const AuditReport &R) {
                   N.Axiom.c_str(), N.Bit, N.BitName.c_str());
   }
 
-  std::printf(R.sound() ? "SOUND: every salt, memoization, and "
-                          "invalidation contract held\n"
+  std::printf(R.sound() ? "SOUND: every salt, memoization, invalidation, "
+                          "and footprint contract held\n"
                         : "UNSOUND: %zu finding(s)\n",
               R.Findings.size());
 }
@@ -119,15 +116,6 @@ int main(int Argc, char **Argv) {
 
   for (int I = 1; I < Argc; ++I) {
     const char *A = Argv[I];
-    auto TakeCount = [&](const char *Flag, const char *Value,
-                         uint64_t &Out) {
-      if (parseCount(Value, Out))
-        return true;
-      std::fprintf(stderr, "error: %s %s: expected a non-negative integer\n",
-                   Flag, Value);
-      return false;
-    };
-    uint64_t Events = 0;
     if (std::strcmp(A, "--model") == 0 && I + 1 < Argc) {
       if (!addModels(Argv[++I], O.ModelSpecs))
         return 2;
@@ -137,20 +125,21 @@ int main(int Argc, char **Argv) {
     } else if (std::strcmp(A, "--json") == 0) {
       Json = true;
     } else if (std::strcmp(A, "--events") == 0 && I + 1 < Argc) {
-      if (!TakeCount("--events", Argv[++I], Events) || !Events) {
+      uint64_t Events = bench::parseCountStrict(Argv[++I], "--events");
+      if (!Events) {
         std::fprintf(stderr, "error: --events: expected a positive bound\n");
         return 2;
       }
       O.Events = static_cast<unsigned>(Events);
     } else if (std::strcmp(A, "--bases") == 0 && I + 1 < Argc) {
-      if (!TakeCount("--bases", Argv[++I], O.VocabBaseCap))
-        return 2;
+      O.VocabBaseCap = bench::parseCountStrict(Argv[++I], "--bases");
     } else if (std::strcmp(A, "--placements") == 0 && I + 1 < Argc) {
-      if (!TakeCount("--placements", Argv[++I], O.PlacementCap))
-        return 2;
+      O.PlacementCap = bench::parseCountStrict(Argv[++I], "--placements");
     } else if (std::strcmp(A, "--corpus-cap") == 0 && I + 1 < Argc) {
-      if (!TakeCount("--corpus-cap", Argv[++I], O.CorpusCandidateCap))
-        return 2;
+      O.CorpusCandidateCap =
+          bench::parseCountStrict(Argv[++I], "--corpus-cap");
+    } else if (std::strcmp(A, "--max-findings") == 0 && I + 1 < Argc) {
+      O.MaxFindings = bench::parseCountStrict(Argv[++I], "--max-findings");
     } else if (std::strcmp(A, "--no-corpus") == 0) {
       O.Corpus = false;
     } else if (std::strcmp(A, "--no-vocab") == 0) {

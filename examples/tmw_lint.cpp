@@ -1,0 +1,114 @@
+//===- tmw_lint.cpp - Litmus-program lint CLI ----------------------------------==//
+///
+/// CLI frontend of the static litmus-program analyzer (lint/Lint.h): runs
+/// every lint rule — unused/uninitialized locations, event and
+/// transaction budget overflows, unbalanced or ill-nested txbegin/txend
+/// and lock/unlock regions, mispaired RMW halves, postconditions naming
+/// nonexistent loads or locations, dependency indices pointing at
+/// non-loads — over litmus DSL files and/or the built-in corpus, and
+/// reports the static program facts (txn-free, rmw-free, fence kinds,
+/// vocabulary) the evaluation planner specializes on.
+///
+/// Usage:   ./tmw_lint [options] [file.litmus ...]
+/// Example: ./tmw_lint --corpus --json > lint_report.json
+///          ./tmw_lint sb.litmus mp.litmus
+///
+/// Flags:
+///   --corpus   lint every test of the built-in corpus (litmus/Library.h).
+///   --json     emit the canonical `tmw-lint-v1` report (lint/LintIO.h)
+///              on stdout: fixed field order, nothing nondeterministic —
+///              CI diffs it across runs like the audit and bench
+///              artifacts.
+///
+/// Exit status: 0 when every program lints clean, 1 when any finding was
+/// reported (warnings included — the corpus gate wants a clean corpus,
+/// not a quiet one) or any file failed to parse, 2 on usage errors.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+#include "lint/LintIO.h"
+#include "litmus/Library.h"
+#include "litmus/Parser.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace tmw;
+
+int main(int Argc, char **Argv) {
+  bool Corpus = false, Json = false;
+  std::vector<const char *> Files;
+
+  for (int I = 1; I < Argc; ++I) {
+    const char *A = Argv[I];
+    if (std::strcmp(A, "--corpus") == 0) {
+      Corpus = true;
+    } else if (std::strcmp(A, "--json") == 0) {
+      Json = true;
+    } else if (std::strncmp(A, "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag %s\n", A);
+      return 2;
+    } else {
+      Files.push_back(A);
+    }
+  }
+  if (Files.empty() && !Corpus) {
+    std::fprintf(stderr,
+                 "usage: tmw_lint [--corpus] [--json] [file.litmus ...]\n");
+    return 2;
+  }
+
+  // Parse failures are hard errors (exit 1, like a finding), but they do
+  // not abort the batch: every other input still gets linted and its own
+  // diagnostic, however late in the argument list the bad file sits.
+  bool ParseFailed = false;
+  std::vector<LintedProgram> Linted;
+  auto LintOne = [&](const Program &P, std::string Name) {
+    LintedProgram L;
+    L.Name = std::move(Name);
+    L.Report = lintProgram(P);
+    L.Facts = computeFacts(P);
+    Linted.push_back(std::move(L));
+  };
+
+  for (const char *File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open %s\n", File);
+      return 2;
+    }
+    std::stringstream Ss;
+    Ss << In.rdbuf();
+    ParseResult Parsed = parseProgram(Ss.str());
+    if (!Parsed) {
+      std::fprintf(stderr, "%s:%u: error: %s\n", File, Parsed.ErrorLine,
+                   Parsed.Error.c_str());
+      ParseFailed = true;
+      continue;
+    }
+    LintOne(Parsed.Prog, File);
+  }
+  if (Corpus)
+    for (const CorpusEntry &E : sharedCorpus())
+      LintOne(E.Prog, E.Name);
+
+  size_t Findings = 0;
+  for (const LintedProgram &L : Linted)
+    Findings += L.Report.Findings.size();
+
+  if (Json) {
+    std::fputs(lintReportToJson(Linted).c_str(), stdout);
+  } else {
+    for (const LintedProgram &L : Linted)
+      std::fputs(lintFindingsToText(L).c_str(), stdout);
+    std::printf("%zu program%s, %zu finding%s\n", Linted.size(),
+                Linted.size() == 1 ? "" : "s", Findings,
+                Findings == 1 ? "" : "s");
+  }
+  return (Findings || ParseFailed) ? 1 : 0;
+}

@@ -84,11 +84,11 @@ int usageError(const char *Fmt, const char *Arg) {
 }
 
 unsigned parseCountStrict(const char *Text, const char *Flag) {
-  // Like parseJobsStrict but 0 is meaningful (= unlimited) for these.
-  char *End = nullptr;
-  unsigned long V = std::strtoul(Text, &End, 10);
-  if (End == Text || *End != '\0' || V > 1u << 20) {
-    std::fprintf(stderr, "error: %s expects a small non-negative integer, got '%s'\n",
+  // The shared strict parser (0 is meaningful: unlimited), plus a
+  // smallness bound — these knobs size server-side tables.
+  uint64_t V = bench::parseCountStrict(Text, Flag);
+  if (V > 1u << 20) {
+    std::fprintf(stderr, "error: %s %s: expected a non-negative integer\n",
                  Flag, Text);
     std::exit(2);
   }

@@ -87,6 +87,8 @@ std::string tmw::auditReportToJson(const AuditReport &R) {
   appendUint(Out, R.Counters.Units);
   Out += ", \"term_evals\": ";
   appendUint(Out, R.Counters.TermEvals);
+  Out += ", \"footprint_checks\": ";
+  appendUint(Out, R.Counters.FootprintChecks);
   Out += "}, \"truncated\": ";
   Out += R.Truncated ? "true" : "false";
   Out += ", \"findings\": [";

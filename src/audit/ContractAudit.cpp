@@ -4,6 +4,7 @@
 
 #include "enumerate/Candidates.h"
 #include "enumerate/Enumerator.h"
+#include "lint/Lint.h"
 #include "litmus/Library.h"
 #include "models/ModelRegistry.h"
 
@@ -22,6 +23,8 @@ const char *tmw::auditPassName(AuditPass P) {
     return "memoization";
   case AuditPass::Invalidation:
     return "invalidation";
+  case AuditPass::Footprint:
+    return "footprint";
   }
   return "?";
 }
@@ -54,6 +57,7 @@ struct Unit {
   AxiomMask Mask;      ///< The owning model's configured mask.
   unsigned NumAxioms;  ///< Table size = number of meaningful mask bits.
   uint32_t Salt;       ///< Declared salt, normalized to the table width.
+  uint32_t Footprint;  ///< Declared vocabulary footprint (Axiom.h).
   uint32_t SaltSeen = 0; ///< Salt bits some probe's output depended on.
 };
 
@@ -88,8 +92,14 @@ private:
   }
 
   void collectUnits() {
-    // Key: term identity under the salt contract (see Unit).
-    std::set<std::tuple<const void *, uint32_t, uint32_t, unsigned>> Seen;
+    // Key: term identity under the salt contract (see Unit), plus the
+    // declared footprint — two tables sharing a term but declaring
+    // different footprints are distinct pass-4 claims, so each gets its
+    // own unit (the plan *unions* such footprints; the audit must check
+    // each declaration as written).
+    std::set<std::tuple<const void *, uint32_t, uint32_t, unsigned,
+                        uint32_t>>
+        Seen;
     for (size_t S = 0; S < Models.size(); ++S) {
       AxiomList Axioms = Models[S]->axioms();
       unsigned N = static_cast<unsigned>(Axioms.size());
@@ -99,9 +109,10 @@ private:
         uint32_t Salt = Ax.Salt & tableBits(N);
         if (Seen
                 .insert({reinterpret_cast<const void *>(Ax.Term),
-                         M.normalized(N).bits() & Salt, Salt, N})
+                         M.normalized(N).bits() & Salt, Salt, N,
+                         Ax.Footprint})
                 .second)
-          Units.push_back({S, I, &Ax, M, N, Salt});
+          Units.push_back({S, I, &Ax, M, N, Salt, Ax.Footprint});
       }
     }
   }
@@ -142,19 +153,38 @@ private:
   /// below, exactly as one production arena serves many models).
   void auditProbe(const Execution &X, const std::string &Probe) {
     ++R.Counters.Probes;
+    uint32_t Vocab = executionVocabulary(X);
     retarget(Fresh, X, AnalysisCaching::Recompute);
     retarget(Shared, X, AnalysisCaching::Memoized);
     for (Unit &U : Units) {
+      bool Disjoint = (U.Footprint & Vocab) == 0;
       Relation BaseFresh = eval(U, *Fresh, U.Mask);
       Relation BaseMemo = eval(U, *Shared, U.Mask);
       if (!(BaseMemo == BaseFresh))
         finding(AuditPass::Memoization, U, -1, Probe, X,
                 "memoized evaluation differs from fresh recompute at the "
                 "configured mask");
+      // Pass 4: on a footprint-disjoint probe the declared contract
+      // promises an empty relation (the basis of the plan's vacuous-
+      // verdict discharge). Checked at the configured mask and at every
+      // flipped mask below — a footprint must hold at any mask.
+      if (Disjoint) {
+        ++R.Counters.FootprintChecks;
+        if (!BaseFresh.isEmpty())
+          finding(AuditPass::Footprint, U, -1, Probe, X,
+                  "term produced edges on an execution whose vocabulary is "
+                  "disjoint from its declared Footprint (under-declared "
+                  "footprint: specialization would discharge a live "
+                  "constraint)");
+      }
       for (unsigned B = 0; B < U.NumAxioms; ++B) {
         AxiomMask Flipped = U.Mask;
         Flipped.set(B, !U.Mask.test(B));
         Relation FlipFresh = eval(U, *Fresh, Flipped);
+        if (Disjoint && !FlipFresh.isEmpty())
+          finding(AuditPass::Footprint, U, static_cast<int>(B), Probe, X,
+                  "term produced edges under a flipped mask on an execution "
+                  "whose vocabulary is disjoint from its declared Footprint");
         bool Changed = !(FlipFresh == BaseFresh);
         if ((U.Salt >> B) & 1) {
           if (Changed)

@@ -16,6 +16,11 @@
 ///    `invalidateTransactionalState()`. A term that reads the transaction
 ///    labelling but claims independence serves stale relations to the
 ///    placement search.
+///  * `Axiom::Footprint` (models/Axiom.h) — the vocabulary classes a term
+///    can produce edges from. Plan specialization pre-discharges an
+///    obligation to its vacuous verdict on every program whose vocabulary
+///    is disjoint from the declared footprint; an under-declared
+///    footprint silently skips a live constraint and corrupts verdicts.
 ///
 /// All three are audited *differentially*, in the Herding Cats spirit of
 /// cross-validating model artifacts rather than trusting them: probe
@@ -44,6 +49,14 @@
 ///     does; the re-evaluated cached term must equal a from-scratch
 ///     recompute. A `TxnDependent=false` entry that reads txn state
 ///     survives the invalidation and is caught here.
+///  4. *Footprint soundness* — on every probe whose execution vocabulary
+///     (lint/Lint.h `executionVocabulary`) is disjoint from an axiom's
+///     declared `Footprint`, the term's relation must be *empty* (that
+///     emptiness is exactly what licenses the plan's vacuous-verdict
+///     discharge). A nonempty relation on a disjoint probe is an
+///     under-declared footprint — a soundness failure, caught at any
+///     audited mask. Over-declaration (up to the always-safe `~0u`) only
+///     forfeits specialization and is never reported.
 ///
 /// The auditor walks `ModelRegistry` / `MemoryModel::axioms()`
 /// generically, so new models and axioms are covered with zero new audit
@@ -64,10 +77,12 @@
 
 namespace tmw {
 
-/// The three audit passes (see file comment).
-enum class AuditPass : uint8_t { Salt, Memoization, Invalidation };
+/// The four audit passes (see file comment).
+enum class AuditPass : uint8_t { Salt, Memoization, Invalidation,
+                                 Footprint };
 
-/// Stable lowercase pass name ("salt", "memoization", "invalidation").
+/// Stable lowercase pass name ("salt", "memoization", "invalidation",
+/// "footprint").
 const char *auditPassName(AuditPass P);
 
 /// One contract violation. Every finding is a *soundness* failure: the
@@ -113,6 +128,8 @@ struct AuditCounters {
   uint64_t Placements = 0;    ///< Placements audited by the invalidation pass.
   uint64_t Units = 0;         ///< Distinct (term, mask, salt) audit units.
   uint64_t TermEvals = 0;     ///< Term evaluations performed in total.
+  uint64_t FootprintChecks = 0; ///< Emptiness checks on footprint-disjoint
+                                ///< (unit, probe) pairs (pass 4).
 };
 
 /// Result of one audit run. `sound()` is the CI gate: no resolution

@@ -21,7 +21,7 @@ ImplModel::ImplModel(std::unique_ptr<MemoryModel> Spec, bool NoLoadBuffering,
   Axioms.assign(SpecAxioms.begin(), SpecAxioms.end());
   Axioms.push_back({"NoLoadBuffering(impl)", AxiomKind::Acyclic,
                     noLoadBuffering, /*Tm=*/false, /*Modifier=*/false,
-                    /*Salt=*/0});
+                    /*Salt=*/0, /*Footprint=*/~0u});
   // Inherit the spec's configuration; the appended implementation axiom
   // sits past the spec's indices, so the spec's term functions keep
   // reading their own bits.

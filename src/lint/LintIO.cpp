@@ -1,0 +1,126 @@
+//===- LintIO.cpp - Machine-readable lint reports -------------------------------==//
+
+#include "lint/LintIO.h"
+
+#include "query/Json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace tmw;
+
+namespace {
+
+void appendUint(std::string &Out, uint64_t V) {
+  char Buf[24];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, V);
+  Out += Buf;
+}
+
+void appendBool(std::string &Out, bool B) { Out += B ? "true" : "false"; }
+
+void appendFinding(std::string &Out, const LintFinding &F) {
+  Out += "{\"severity\": ";
+  jsonAppendString(Out, lintSeverityName(F.Severity));
+  Out += ", \"code\": ";
+  jsonAppendString(Out, F.Code);
+  Out += ", \"message\": ";
+  jsonAppendString(Out, F.Message);
+  Out += ", \"thread\": ";
+  Out += std::to_string(F.Thread);
+  Out += ", \"instruction\": ";
+  Out += std::to_string(F.Instruction);
+  Out += ", \"line\": ";
+  appendUint(Out, F.Line);
+  Out += '}';
+}
+
+void appendFacts(std::string &Out, const ProgramFacts &F) {
+  Out += "{\"txn_free\": ";
+  appendBool(Out, F.TxnFree);
+  Out += ", \"rmw_free\": ";
+  appendBool(Out, F.RmwFree);
+  Out += ", \"lock_region_free\": ";
+  appendBool(Out, F.LockRegionFree);
+  Out += ", \"single_location\": ";
+  appendBool(Out, F.SingleLocation);
+  Out += ", \"atomic_only\": ";
+  appendBool(Out, F.AtomicOnly);
+  Out += ", \"fence_kinds\": [";
+  bool First = true;
+  for (unsigned K = 1; K <= static_cast<unsigned>(FenceKind::CppFence);
+       ++K) {
+    if (!(F.FenceKinds & (1u << K)))
+      continue;
+    if (!First)
+      Out += ", ";
+    First = false;
+    jsonAppendString(Out, fenceKindName(static_cast<FenceKind>(K)));
+  }
+  Out += "], \"vocabulary\": ";
+  appendUint(Out, F.Vocabulary);
+  Out += '}';
+}
+
+} // namespace
+
+std::string tmw::lintReportToJson(std::span<const LintedProgram> Programs) {
+  uint64_t Errors = 0, Warnings = 0;
+  std::string Out;
+  Out += "{\"schema\": ";
+  jsonAppendString(Out, kLintReportSchema);
+  Out += ", \"programs\": [";
+  bool FirstProg = true;
+  for (const LintedProgram &LP : Programs) {
+    uint64_t ProgErrors = 0, ProgWarnings = 0;
+    for (const LintFinding &F : LP.Report.Findings)
+      (F.Severity == LintSeverity::Error ? ProgErrors : ProgWarnings) += 1;
+    Errors += ProgErrors;
+    Warnings += ProgWarnings;
+    if (!FirstProg)
+      Out += ", ";
+    FirstProg = false;
+    Out += "{\"name\": ";
+    jsonAppendString(Out, LP.Name);
+    Out += ", \"errors\": ";
+    appendUint(Out, ProgErrors);
+    Out += ", \"warnings\": ";
+    appendUint(Out, ProgWarnings);
+    Out += ", \"facts\": ";
+    appendFacts(Out, LP.Facts);
+    Out += ", \"findings\": [";
+    bool First = true;
+    for (const LintFinding &F : LP.Report.Findings) {
+      if (!First)
+        Out += ", ";
+      First = false;
+      appendFinding(Out, F);
+    }
+    Out += "]}";
+  }
+  Out += "], \"errors\": ";
+  appendUint(Out, Errors);
+  Out += ", \"warnings\": ";
+  appendUint(Out, Warnings);
+  Out += ", \"clean\": ";
+  appendBool(Out, Errors == 0 && Warnings == 0);
+  Out += "}\n";
+  return Out;
+}
+
+std::string tmw::lintFindingsToText(const LintedProgram &LP) {
+  std::string Out;
+  for (const LintFinding &F : LP.Report.Findings) {
+    Out += LP.Name;
+    Out += ':';
+    Out += std::to_string(F.Line);
+    Out += ": ";
+    Out += lintSeverityName(F.Severity);
+    Out += ": ";
+    Out += F.Message;
+    Out += " [";
+    Out += F.Code;
+    Out += "]\n";
+  }
+  return Out;
+}

@@ -237,7 +237,7 @@ thread 2
   load y
   load x addr:r0
 post mem ok 1
-post reg 1 r0 1
+post reg 1 r1 1
 post reg 2 r0 1
 post reg 2 r1 0
 )",

@@ -185,6 +185,8 @@ ParseResult tmw::parseProgram(std::string_view Text) {
         return Fail("bad thread index");
       while (static_cast<int>(P.Threads.size()) <= T)
         P.Threads.emplace_back();
+      while (P.SrcLines.size() < P.Threads.size())
+        P.SrcLines.emplace_back();
       CurThread = T;
       continue;
     }
@@ -291,6 +293,7 @@ ParseResult tmw::parseProgram(std::string_view Text) {
     if (!parseAttrs(Toks, AttrsFrom, I, AttrErr))
       return Fail(AttrErr);
     P.Threads[CurThread].push_back(I);
+    P.SrcLines[CurThread].push_back(LineNo);
   }
 
   return Res;

@@ -79,6 +79,10 @@ struct MemAssertion {
 struct Program {
   std::string Name;
   std::vector<std::vector<Instruction>> Threads;
+  /// Source line (1-based) of each instruction, parallel to `Threads`.
+  /// Filled by `parseProgram`; programs built programmatically leave it
+  /// empty, and consumers (the lint pass) report line 0 for those.
+  std::vector<std::vector<unsigned>> SrcLines;
   /// Non-zero initial values (all other locations start at 0).
   std::vector<std::pair<LocId, int>> InitialValues;
   std::vector<RegAssertion> RegPost;

@@ -80,21 +80,26 @@ constexpr uint32_t kObSalt = 1u << kTfence;
 // Axiom salts: only the ob-derived terms read the mask (its tfence bit).
 // TxnCancelsRMW is the shared `terms::txnCancelsRmw` (one definition with
 // Power, and the guard term of the cross-arch hierarchy edges).
+//
+// Vocabulary footprints (Axiom.h): tfence and TxnCancelsRMW vanish
+// without transactions ({Txn}), RMWIsol without RMW pairs ({Rmw}); ob
+// reads plain po/com and the strong-lift terms degenerate to ob on
+// txn-free executions — full footprint.
 const Axiom Armv8Axioms[] = {
     {"Coherence", AxiomKind::Acyclic, terms::coherence, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/~0u},
     {"tfence", AxiomKind::Acyclic, terms::tfence, /*Tm=*/true,
-     /*Modifier=*/true, /*Salt=*/0},
+     /*Modifier=*/true, /*Salt=*/0, /*Footprint=*/vocab::Txn},
     {"Order", AxiomKind::Acyclic, ob, /*Tm=*/false, /*Modifier=*/false,
-     /*Salt=*/kObSalt},
+     /*Salt=*/kObSalt, /*Footprint=*/~0u},
     {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/vocab::Rmw},
     {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/~0u},
     {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/kObSalt},
+     /*Modifier=*/false, /*Salt=*/kObSalt, /*Footprint=*/~0u},
     {"TxnCancelsRMW", AxiomKind::Empty, terms::txnCancelsRmw, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/vocab::Txn},
 };
 
 } // namespace

@@ -31,6 +31,7 @@
 #ifndef TMW_MODELS_AXIOM_H
 #define TMW_MODELS_AXIOM_H
 
+#include "execution/Event.h"
 #include "relation/Relation.h"
 
 #include <cassert>
@@ -40,6 +41,39 @@
 namespace tmw {
 
 class ExecutionAnalysis;
+
+/// Vocabulary classes: the program features an axiom term can observe.
+///
+/// A program (and by extension every candidate execution enumerated from
+/// it) *speaks* a subset of these classes; an axiom declares in
+/// `Axiom::Footprint` which classes its term can read. The contract is
+/// emptiness: for every execution whose vocabulary is disjoint from the
+/// declared footprint, the term's relation is empty — so the obligation's
+/// verdict is the vacuous one (an empty relation is acyclic, irreflexive,
+/// and empty) and a specialized evaluation plan may discharge it once per
+/// program instead of evaluating it per candidate (EvalPlan::specialize).
+///
+/// `Base` is set in every execution's vocabulary, which makes the default
+/// footprint `~0u` never-disjoint and therefore always safe.
+namespace vocab {
+/// Always present: plain program order / reads / writes. Any footprint
+/// containing Base is never disjoint from a program's vocabulary.
+inline constexpr uint32_t Base = 1u << 0;
+/// Successful transactions (stxn non-trivial: some TxBegin executed).
+inline constexpr uint32_t Txn = 1u << 1;
+/// RMW pairs (paired exclusive load/store).
+inline constexpr uint32_t Rmw = 1u << 2;
+/// Lock / critical-region method calls (Lock, Unlock, TxLock, TxUnlock).
+inline constexpr uint32_t Lock = 1u << 3;
+/// C++ atomic accesses (MemOrder != NonAtomic).
+inline constexpr uint32_t Atomic = 1u << 4;
+
+/// One bit per architecture fence flavour (FenceKind::MFence..CppFence).
+constexpr uint32_t fence(FenceKind K) {
+  assert(K != FenceKind::None && "FenceKind::None has no vocabulary bit");
+  return 1u << (4 + static_cast<unsigned>(K));
+}
+} // namespace vocab
 
 /// The constraint form of a checked axiom (the three judgement forms of
 /// the cat framework).
@@ -139,6 +173,23 @@ struct Axiom {
   /// honestly. Run `tmw_audit` after touching any term or salt; CI fails
   /// on soundness findings.
   uint32_t Salt = ~uint32_t(0);
+  /// The vocabulary classes (namespace `vocab`) this term can read: on any
+  /// execution whose vocabulary is disjoint from `Footprint`, the term's
+  /// relation must be *empty*. The specialized evaluation plan
+  /// (EvalPlan::specialize) uses this to discharge obligations to their
+  /// vacuous verdict once per program, so an under-declared footprint is a
+  /// soundness bug — it would silently change verdicts.
+  ///
+  /// The rule: the default `Footprint = ~0u` is always safe (it contains
+  /// `vocab::Base`, which every execution speaks, so such an obligation is
+  /// never discharged); narrow only what the auditor proves. Like `Salt`,
+  /// footprints are machine-checked — `tmw_audit`'s fourth differential
+  /// pass evaluates every term on vocabulary-enumerated probes and flags
+  /// any non-empty relation on a footprint-disjoint execution as a
+  /// CI-fatal soundness finding. Beware lifted terms: `stronglift(r, t)`
+  /// degenerates to `r` (not the empty relation) when `t` is empty, so
+  /// strong-isolation-style terms must keep the full footprint.
+  uint32_t Footprint = ~uint32_t(0);
 };
 
 /// A model's axiom list: a view of its static table.

@@ -70,17 +70,22 @@ Relation seqCst(const ExecutionAnalysis &A, AxiomMask M) {
 
 // Axiom salts (Axiom.h): the hb-derived terms (HbCom, SeqCst via psc)
 // read only the Tsw bit — the same footprint `kHbSalt` hands to memoTerm.
+//
+// Vocabulary footprints (Axiom.h): Tsw is a weak lift through `stxn`
+// (empty on txn-free executions, {Txn}) and RMWIsol is empty without RMW
+// pairs ({Rmw}); the hb/psc compounds and NoThinAir read plain po/rf —
+// full footprint.
 const Axiom CppAxioms[] = {
     {"Tsw", AxiomKind::Acyclic, tswTerm, /*Tm=*/true, /*Modifier=*/true,
-     /*Salt=*/0},
+     /*Salt=*/0, /*Footprint=*/vocab::Txn},
     {"HbCom", AxiomKind::Irreflexive, hbCom, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/kHbSalt},
+     /*Modifier=*/false, /*Salt=*/kHbSalt, /*Footprint=*/~0u},
     {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/vocab::Rmw},
     {"NoThinAir", AxiomKind::Acyclic, noThinAir, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/~0u},
     {"SeqCst", AxiomKind::Acyclic, seqCst, /*Tm=*/false, /*Modifier=*/false,
-     /*Salt=*/kHbSalt},
+     /*Salt=*/kHbSalt, /*Footprint=*/~0u},
 };
 
 } // namespace

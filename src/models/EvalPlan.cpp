@@ -11,12 +11,14 @@
 #include "models/EvalPlan.h"
 
 #include "hw/ImplModel.h"
+#include "lint/Lint.h"
 #include "models/Armv8Model.h"
 #include "models/PowerModel.h"
 #include "models/ScModel.h"
 #include "models/X86Model.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
 #include <tuple>
 
@@ -26,7 +28,8 @@ namespace {
 
 /// The guard term of the SC => hardware-baseline hierarchy edges: the
 /// pinned implication (`ScImpliesHardwareBaselines`) covers RMW-free
-/// executions only.
+/// executions only. Vocabulary footprint {Rmw}: the relation is the RMW
+/// pairing itself, empty on RMW-free executions.
 Relation rmwGuard(const ExecutionAnalysis &A, AxiomMask) { return A.rmw(); }
 
 /// a ⊆ b over sorted unique id vectors.
@@ -35,9 +38,9 @@ bool subsetOf(const std::vector<uint32_t> &A, const std::vector<uint32_t> &B) {
 }
 
 /// Identical axiom tables, entry for entry (same term functions, kinds,
-/// flags, salts, names). Static arch tables compare equal trivially;
-/// per-instance `ImplModel` tables compare by content, so two wrappers of
-/// the same arch and preset count as one family.
+/// flags, salts, footprints, names). Static arch tables compare equal
+/// trivially; per-instance `ImplModel` tables compare by content, so two
+/// wrappers of the same arch and preset count as one family.
 bool sameTable(const MemoryModel &A, const MemoryModel &B) {
   AxiomList X = A.axioms(), Y = B.axioms();
   if (X.size() != Y.size())
@@ -45,7 +48,8 @@ bool sameTable(const MemoryModel &A, const MemoryModel &B) {
   for (size_t I = 0; I < X.size(); ++I)
     if (X[I].Term != Y[I].Term || X[I].Kind != Y[I].Kind ||
         X[I].Tm != Y[I].Tm || X[I].Modifier != Y[I].Modifier ||
-        X[I].Salt != Y[I].Salt || X[I].Name != Y[I].Name)
+        X[I].Salt != Y[I].Salt || X[I].Footprint != Y[I].Footprint ||
+        X[I].Name != Y[I].Name)
       return false;
   return true;
 }
@@ -65,15 +69,22 @@ EvalPlan EvalPlan::compile(std::span<const MemoryModel *const> Models) {
   // --- Obligation pool: hash-cons (term fn, kind, salt-relevant mask
   // bits). The stored representative mask is the first contributor's full
   // mask — by the salt contract any agreeing mask denotes the same term.
+  // Footprints union across contributors: a vocabulary disjoint from the
+  // union is disjoint from every contributor's declaration, so each
+  // contributor's emptiness contract applies (intersection would not be
+  // sound).
   std::map<std::tuple<uintptr_t, uint8_t, uint32_t>, uint32_t> Pool;
   auto intern = [&](Relation (*Term)(const ExecutionAnalysis &, AxiomMask),
-                    AxiomKind Kind, AxiomMask Mask, uint32_t Salt) {
+                    AxiomKind Kind, AxiomMask Mask, uint32_t Salt,
+                    uint32_t Footprint) {
     auto Key = std::make_tuple(reinterpret_cast<uintptr_t>(Term),
                                static_cast<uint8_t>(Kind),
                                Mask.bits() & Salt);
     auto [It, New] = Pool.emplace(Key, static_cast<uint32_t>(P.Obls.size()));
     if (New)
-      P.Obls.push_back({Term, Kind, Mask});
+      P.Obls.push_back({Term, Kind, Mask, Footprint});
+    else
+      P.Obls[It->second].Footprint |= Footprint;
     return It->second;
   };
   auto compileSpec = [&](const MemoryModel &M) {
@@ -84,7 +95,8 @@ EvalPlan EvalPlan::compile(std::span<const MemoryModel *const> Models) {
       const Axiom &Ax = Axs[I];
       if (Ax.Modifier || !Mask.test(I))
         continue;
-      S.Obls.push_back(intern(Ax.Term, Ax.Kind, Mask, Ax.Salt));
+      S.Obls.push_back(intern(Ax.Term, Ax.Kind, Mask, Ax.Salt,
+                              Ax.Footprint));
     }
     return S;
   };
@@ -126,12 +138,15 @@ EvalPlan EvalPlan::compile(std::span<const MemoryModel *const> Models) {
                         RefArmv8Base = refSet(Armv8Base);
 
   // Guard obligations (all salt-0 terms, so they collapse with any spec
-  // that already checks them as axioms).
-  uint32_t GRmwIsol =
-      intern(terms::rmwIsolation, AxiomKind::Empty, AxiomMask::all(), 0);
-  uint32_t GTxnCancel =
-      intern(terms::txnCancelsRmw, AxiomKind::Empty, AxiomMask::all(), 0);
-  uint32_t GRmwFree = intern(rmwGuard, AxiomKind::Empty, AxiomMask::all(), 0);
+  // that already checks them as axioms). Footprints match the tables'
+  // declarations for the shared terms, so the union stays narrow and a
+  // specialized plan decides the guards once per program.
+  uint32_t GRmwIsol = intern(terms::rmwIsolation, AxiomKind::Empty,
+                             AxiomMask::all(), 0, vocab::Rmw);
+  uint32_t GTxnCancel = intern(terms::txnCancelsRmw, AxiomKind::Empty,
+                               AxiomMask::all(), 0, vocab::Txn);
+  uint32_t GRmwFree =
+      intern(rmwGuard, AxiomKind::Empty, AxiomMask::all(), 0, vocab::Rmw);
 
   // --- Obligation dominance: `acyclic(po u com)` — SC/TSC's Order, the
   // sole entry of RefSc — implies `acyclic(po u rf)`, the implementation
@@ -143,8 +158,8 @@ EvalPlan EvalPlan::compile(std::span<const MemoryModel *const> Models) {
   ImplModel RefImpl = ImplModel::power8();
   const Axiom &NoLbAx = RefImpl.axioms().back();
   uint32_t OScHb = RefSc.front();
-  uint32_t ONoLb =
-      intern(NoLbAx.Term, NoLbAx.Kind, AxiomMask::all(), NoLbAx.Salt);
+  uint32_t ONoLb = intern(NoLbAx.Term, NoLbAx.Kind, AxiomMask::all(),
+                          NoLbAx.Salt, NoLbAx.Footprint);
   auto augment = [&](std::vector<uint32_t> V) {
     // The obligations spec/reference-set V covers beyond its own list.
     if (std::binary_search(V.begin(), V.end(), OScHb) &&
@@ -302,6 +317,25 @@ EvalPlan::Scratch EvalPlan::makeScratch() const {
   return S;
 }
 
+EvalPlan::Specialization EvalPlan::specialize(uint32_t Vocabulary) const {
+  Specialization Sp;
+  Sp.Obl.assign(Obls.size(), int8_t(-1));
+  for (size_t O = 0; O < Obls.size(); ++O)
+    if ((Obls[O].Footprint & Vocabulary) == 0) {
+      // Footprint disjoint from everything the program can speak: the
+      // term is empty on every candidate (the audited Axiom::Footprint
+      // contract), and an empty relation is acyclic, irreflexive, and
+      // empty — the obligation holds vacuously.
+      Sp.Obl[O] = 1;
+      ++Sp.Discharged;
+    }
+  return Sp;
+}
+
+EvalPlan::Specialization EvalPlan::specialize(const ProgramFacts &Facts) const {
+  return specialize(Facts.Vocabulary);
+}
+
 bool EvalPlan::obligationHolds(uint32_t O, const ExecutionAnalysis &A,
                                Scratch &S) const {
   int8_t &V = S.Obl[O];
@@ -323,8 +357,19 @@ bool EvalPlan::guardsHold(const Edge &E, const ExecutionAnalysis &A,
   return true;
 }
 
-void EvalPlan::evaluate(const ExecutionAnalysis &A, Scratch &S) const {
-  std::fill(S.Obl.begin(), S.Obl.end(), int8_t(-1));
+void EvalPlan::evaluate(const ExecutionAnalysis &A, Scratch &S,
+                        const Specialization *Sp) const {
+  if (Sp) {
+    // Refill from the per-program verdict template instead of the
+    // all-unknown reset: pre-discharged obligations read as cached
+    // vacuous verdicts for every candidate of this program.
+    assert(Sp->Obl.size() == S.Obl.size() &&
+           "specialization from a different plan");
+    std::copy(Sp->Obl.begin(), Sp->Obl.end(), S.Obl.begin());
+    S.C.Discharged += Sp->Discharged;
+  } else {
+    std::fill(S.Obl.begin(), S.Obl.end(), int8_t(-1));
+  }
   std::fill(S.Spec.begin(), S.Spec.end(), int8_t(-1));
   ++S.C.Candidates;
   for (uint32_t Sp : Order) {

@@ -72,6 +72,8 @@
 
 namespace tmw {
 
+struct ProgramFacts;
+
 /// A compiled cross-spec evaluation plan (see file comment).
 class EvalPlan {
 public:
@@ -86,6 +88,9 @@ public:
     /// Specs evaluated through their obligation lists / decided by a
     /// subsumption edge without touching their obligations.
     uint64_t SpecEvals = 0, SpecShortCircuits = 0;
+    /// Obligation verdicts pre-decided by a `Specialization` (summed over
+    /// candidates): term evaluations the footprint contract saved.
+    uint64_t Discharged = 0;
   };
 
   /// One implication edge: `consistent(From) and all Guards hold` implies
@@ -111,12 +116,41 @@ public:
     Counters C;
   };
 
+  /// A per-program specialization of a plan: the verdict template seeded
+  /// into every candidate's Scratch. Obligations whose declared vocabulary
+  /// footprint (Axiom::Footprint) is disjoint from the program's
+  /// vocabulary are pre-decided to their vacuous verdict — by the audited
+  /// footprint contract their term relation is empty on every candidate
+  /// the program can produce, and an empty relation satisfies all three
+  /// constraint kinds. This covers the hierarchy-edge guards too (they
+  /// are pool obligations), so e.g. the RMW-freedom guard of the
+  /// SC => hardware-baseline edges is decided once per program instead of
+  /// once per candidate. Verdict-neutral by construction: the pre-decided
+  /// value is exactly what evaluation would have computed.
+  class Specialization {
+  public:
+    /// Obligations pre-decided per candidate.
+    uint64_t discharged() const { return Discharged; }
+
+  private:
+    friend class EvalPlan;
+    std::vector<int8_t> Obl; ///< 1 pre-discharged, -1 evaluate on demand.
+    uint64_t Discharged = 0;
+  };
+
   EvalPlan() = default;
 
   /// Compile a plan over \p Models (borrowed for the duration of the call
   /// only; the plan is self-contained). Spec index i in the plan is
   /// `Models[i]`.
   static EvalPlan compile(std::span<const MemoryModel *const> Models);
+
+  /// Specialize this plan to a program speaking \p Vocabulary (a bitset
+  /// over `vocab::` classes; see models/Axiom.h). The result is tied to
+  /// this plan instance and is immutable — share it freely across workers.
+  Specialization specialize(uint32_t Vocabulary) const;
+  /// Convenience overload over the lint pass's static program facts.
+  Specialization specialize(const ProgramFacts &Facts) const;
 
   size_t numSpecs() const { return Specs.size(); }
   /// Pool size, including guard obligations and reference entries used
@@ -135,7 +169,12 @@ public:
 
   /// Evaluate every spec over \p A into \p S: afterwards
   /// `S.consistent(i) == Models[i]->consistent(A)` for every i.
-  void evaluate(const ExecutionAnalysis &A, Scratch &S) const;
+  /// \p Sp, when non-null, must come from this plan's `specialize`; its
+  /// pre-decided verdicts seed the obligation cache instead of the
+  /// all-unknown reset, which never changes any verdict (see
+  /// `Specialization`).
+  void evaluate(const ExecutionAnalysis &A, Scratch &S,
+                const Specialization *Sp = nullptr) const;
 
 private:
   struct Obligation {
@@ -144,6 +183,10 @@ private:
     /// Representative full mask (any mask agreeing on the term's salt
     /// bits yields the same relation — the Axiom::Salt contract).
     AxiomMask Mask;
+    /// Union of the declared `Axiom::Footprint`s of every table entry
+    /// hash-consed into this obligation (union keeps the emptiness
+    /// contract sound for all contributors).
+    uint32_t Footprint = ~uint32_t(0);
   };
   struct SpecPlan {
     std::vector<uint32_t> Obls;

@@ -164,31 +164,37 @@ Relation txnOrder(const ExecutionAnalysis &A, AxiomMask M) {
 // footprints handed to memoTerm above. Everything else ignores the mask.
 // TxnCancelsRMW is the shared `terms::txnCancelsRmw` (one definition with
 // ARMv8, and the guard term of the cross-arch hierarchy edges).
+//
+// Vocabulary footprints (Axiom.h): tprop1/tprop2 compose through `stxn`
+// and tfence/TxnCancelsRMW through the implicit transaction fences, so
+// all are empty on txn-free executions ({Txn}); RMWIsol is empty without
+// RMW pairs ({Rmw}). The hb/prop compounds, `thb` (which renders hb), and
+// the strong-lift terms read plain po/com — full footprint.
 const Axiom PowerAxioms[] = {
     {"Coherence", AxiomKind::Acyclic, terms::coherence, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/~0u},
     {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/vocab::Rmw},
     {"tfence", AxiomKind::Acyclic, terms::tfence, /*Tm=*/true,
-     /*Modifier=*/true, /*Salt=*/0},
+     /*Modifier=*/true, /*Salt=*/0, /*Footprint=*/vocab::Txn},
     {"thb", AxiomKind::Acyclic, thbTerm, /*Tm=*/true, /*Modifier=*/true,
-     /*Salt=*/kHbSalt},
+     /*Salt=*/kHbSalt, /*Footprint=*/~0u},
     {"Order", AxiomKind::Acyclic, order, /*Tm=*/false, /*Modifier=*/false,
-     /*Salt=*/kHbSalt},
+     /*Salt=*/kHbSalt, /*Footprint=*/~0u},
     {"tprop1", AxiomKind::Acyclic, tprop1Term, /*Tm=*/true,
-     /*Modifier=*/true, /*Salt=*/0},
+     /*Modifier=*/true, /*Salt=*/0, /*Footprint=*/vocab::Txn},
     {"tprop2", AxiomKind::Acyclic, tprop2Term, /*Tm=*/true,
-     /*Modifier=*/true, /*Salt=*/0},
+     /*Modifier=*/true, /*Salt=*/0, /*Footprint=*/vocab::Txn},
     {"Propagation", AxiomKind::Acyclic, propagation, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/kPropSalt},
+     /*Modifier=*/false, /*Salt=*/kPropSalt, /*Footprint=*/~0u},
     {"Observation", AxiomKind::Irreflexive, observation, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/kPropSalt},
+     /*Modifier=*/false, /*Salt=*/kPropSalt, /*Footprint=*/~0u},
     {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/~0u},
     {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/kHbSalt},
+     /*Modifier=*/false, /*Salt=*/kHbSalt, /*Footprint=*/~0u},
     {"TxnCancelsRMW", AxiomKind::Empty, terms::txnCancelsRmw, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/vocab::Txn},
 };
 
 } // namespace

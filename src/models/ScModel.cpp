@@ -18,16 +18,21 @@ Relation tscTxnOrder(const ExecutionAnalysis &A, AxiomMask M) {
 // term ignores the mask, so all salts are 0 and the eval plan shares the
 // terms across every configuration — and across the two tables, which
 // reference the same `scHb` function.
+//
+// Footprints: both terms keep the full footprint. `scHb` reads po/com
+// (vocab::Base); `tscTxnOrder` is a strong lift, and `stronglift(r, ∅)`
+// degenerates to `r` — on a transaction-free program TxnOrder still
+// checks acyclic(po | com), so it must not be discharged as vacuous.
 const Axiom ScAxioms[] = {
     {"Order", AxiomKind::Acyclic, scHb, /*Tm=*/false, /*Modifier=*/false,
-     /*Salt=*/0},
+     /*Salt=*/0, /*Footprint=*/~0u},
 };
 
 const Axiom TscAxioms[] = {
     {"Order", AxiomKind::Acyclic, scHb, /*Tm=*/false, /*Modifier=*/false,
-     /*Salt=*/0},
+     /*Salt=*/0, /*Footprint=*/~0u},
     {"TxnOrder", AxiomKind::Acyclic, tscTxnOrder, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/~0u},
 };
 
 } // namespace

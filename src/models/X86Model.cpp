@@ -48,19 +48,25 @@ Relation txnOrder(const ExecutionAnalysis &A, AxiomMask M) {
 
 // Axiom salts (Axiom.h): only the hb-derived terms read the mask, and
 // only its tfence bit — the same footprint `kHbSalt` hands to memoTerm.
+//
+// Vocabulary footprints (Axiom.h, audited by tmw_audit's footprint pass):
+// `tfence` is empty without transactions and `rmwIsolation` without RMW
+// pairs, so both are discharged vacuously by specialized plans. The
+// strong-lift terms (StrongIsol, TxnOrder) degenerate to their base
+// relation on txn-free executions — never vacuous, full footprint.
 const Axiom X86Axioms[] = {
     {"Coherence", AxiomKind::Acyclic, terms::coherence, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/~0u},
     {"RMWIsol", AxiomKind::Empty, terms::rmwIsolation, /*Tm=*/false,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/vocab::Rmw},
     {"tfence", AxiomKind::Acyclic, terms::tfence, /*Tm=*/true,
-     /*Modifier=*/true, /*Salt=*/0},
+     /*Modifier=*/true, /*Salt=*/0, /*Footprint=*/vocab::Txn},
     {"Order", AxiomKind::Acyclic, hb, /*Tm=*/false, /*Modifier=*/false,
-     /*Salt=*/kHbSalt},
+     /*Salt=*/kHbSalt, /*Footprint=*/~0u},
     {"StrongIsol", AxiomKind::Acyclic, terms::strongIsolation, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/0},
+     /*Modifier=*/false, /*Salt=*/0, /*Footprint=*/~0u},
     {"TxnOrder", AxiomKind::Acyclic, txnOrder, /*Tm=*/true,
-     /*Modifier=*/false, /*Salt=*/kHbSalt},
+     /*Modifier=*/false, /*Salt=*/kHbSalt, /*Footprint=*/~0u},
 };
 
 } // namespace

@@ -280,6 +280,12 @@ struct Parser {
         std::string Key;
         if (!parseString(Key) || !consume(':'))
           return false;
+        // Duplicate keys are rejected (see Json.h): our writers cannot
+        // produce them, and accepting one would make `get` (first match)
+        // disagree with any last-wins reader of the same document.
+        for (const auto &[Name, Existing] : Out.Members)
+          if (Name == Key)
+            return fail("duplicate object key \"" + Key + "\"");
         JsonValue V;
         if (!parseValue(V))
           return false;

@@ -100,6 +100,14 @@ struct JsonValue {
 /// Parse \p Text as one JSON value (trailing whitespace allowed, trailing
 /// garbage rejected). On failure returns nullopt and, when \p Error is
 /// non-null, stores a message with the byte offset.
+///
+/// Duplicate object keys are a parse error. RFC 8259 leaves the choice
+/// open (last-wins, first-wins, reject), but every document this repo
+/// reads is one of its own fixed-order schemata whose writers cannot emit
+/// a duplicate — so a duplicate key is always a malformed or adversarial
+/// input, and rejecting it beats both silent-override semantics
+/// (`get`/`getUint` return the *first* match, so last-wins reading would
+/// disagree with the DOM order the members preserve).
 std::optional<JsonValue> parseJson(std::string_view Text,
                                    std::string *Error = nullptr);
 

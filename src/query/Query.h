@@ -101,6 +101,9 @@ struct PlanStats {
   uint64_t TermEvals = 0, TermHits = 0;
   /// Specs evaluated through their obligations / decided by subsumption.
   uint64_t SpecEvals = 0, SpecShortCircuits = 0;
+  /// Obligation verdicts pre-decided by footprint specialization
+  /// (models/EvalPlan.h `Specialization`), summed over candidates.
+  uint64_t Discharged = 0;
   /// Plans compiled / served from the resident session cache.
   uint64_t Compiles = 0, CacheHits = 0;
 
@@ -109,6 +112,7 @@ struct PlanStats {
     TermHits += O.TermHits;
     SpecEvals += O.SpecEvals;
     SpecShortCircuits += O.SpecShortCircuits;
+    Discharged += O.Discharged;
     Compiles += O.Compiles;
     CacheHits += O.CacheHits;
     return *this;

@@ -3,6 +3,7 @@
 #include "query/QueryEngine.h"
 
 #include "enumerate/Candidates.h"
+#include "lint/Lint.h"
 #include "litmus/Library.h"
 #include "litmus/Parser.h"
 #include "litmus/Printer.h"
@@ -34,11 +35,14 @@ double secondsSince(TimePoint Start) {
 /// interned models and cached parses; it never changes the response.
 /// \p PlanCache is the cache consulted for compiled evaluation plans —
 /// the session cache when one is attached, else a batch-local one (or
-/// nullptr: compile per request).
+/// nullptr: compile per request). \p Specialize, under the Planned
+/// strategy, pre-discharges footprint-disjoint obligations from the
+/// program's static vocabulary (verdict-neutral; see BatchOptions).
 CheckResponse evaluateRequest(const CheckRequest &R,
                               std::optional<ExecutionAnalysis> &Arena,
                               SessionCache *Cache, EvalStrategy Strategy,
-                              SessionCache *PlanCache, VerdictStore *Store) {
+                              SessionCache *PlanCache, VerdictStore *Store,
+                              bool Specialize) {
   TimePoint T0 = std::chrono::steady_clock::now();
   CheckResponse Resp;
   Resp.Name = R.Name;
@@ -79,11 +83,18 @@ CheckResponse evaluateRequest(const CheckRequest &R,
     Resp.Error = "request sets both 'source' and 'corpus'";
     return Finish();
   }
+  // Static program facts for plan specialization: served from the
+  // session cache beside a cached parse (computed once at parse time),
+  // computed inline otherwise (one O(instructions) scan — trivia next to
+  // enumeration).
+  ProgramFacts Facts;
+  bool HaveFacts = false;
   if (!R.Source.empty()) {
     const ParseResult *PR;
     if (Cache) {
-      CachedParse = Cache->program(R.Source);
+      CachedParse = Cache->program(R.Source, &Facts);
       PR = CachedParse.get();
+      HaveFacts = true;
     } else {
       LocalParse = parseProgram(R.Source);
       PR = &LocalParse;
@@ -155,6 +166,7 @@ CheckResponse evaluateRequest(const CheckRequest &R,
   EvalPlan LocalPlan;
   const EvalPlan *Plan = nullptr;
   EvalPlan::Scratch Scratch;
+  std::optional<EvalPlan::Specialization> Spec;
   if (Strategy == EvalStrategy::Planned) {
     std::vector<const MemoryModel *> Raw(Models.size());
     for (size_t M = 0; M < Models.size(); ++M)
@@ -175,6 +187,11 @@ CheckResponse evaluateRequest(const CheckRequest &R,
       Resp.Plan.Compiles = 1;
     }
     Scratch = Plan->makeScratch();
+    if (Specialize) {
+      if (!HaveFacts)
+        Facts = computeFacts(*P);
+      Spec = Plan->specialize(Facts);
+    }
   }
 
   // Enumerate the candidates ONCE; fan each one out to every model over
@@ -193,7 +210,7 @@ CheckResponse evaluateRequest(const CheckRequest &R,
       Arena->reset(C.X);
     bool Satisfies = C.O.satisfies(*P);
     if (Plan)
-      Plan->evaluate(*Arena, Scratch);
+      Plan->evaluate(*Arena, Scratch, Spec ? &*Spec : nullptr);
     for (size_t M = 0; M < Models.size(); ++M) {
       ModelVerdict &V = Resp.Verdicts[M];
       bool Consistent =
@@ -218,6 +235,7 @@ CheckResponse evaluateRequest(const CheckRequest &R,
     Resp.Plan.TermHits = PC.TermHits;
     Resp.Plan.SpecEvals = PC.SpecEvals;
     Resp.Plan.SpecShortCircuits = PC.SpecShortCircuits;
+    Resp.Plan.Discharged = PC.Discharged;
   }
 
   if (R.Explain)
@@ -265,9 +283,10 @@ CheckResponse evaluateRequest(const CheckRequest &R,
 BatchRun::BatchRun(std::span<const CheckRequest> Requests,
                    WorkQueue<size_t> &Q, SessionCache *Cache,
                    std::function<void(const CheckResponse &)> OnResult,
-                   EvalStrategy Strategy, VerdictStore *Store)
+                   EvalStrategy Strategy, VerdictStore *Store,
+                   bool Specialize)
     : BatchRun(Requests, Q.numWorkers(), Cache, std::move(OnResult),
-               Strategy, Store) {
+               Strategy, Store, Specialize) {
   this->Q = &Q;
   // One monolithic task per request: the pool acts as a balanced
   // distributor with stealing.
@@ -278,11 +297,12 @@ BatchRun::BatchRun(std::span<const CheckRequest> Requests,
 BatchRun::BatchRun(std::span<const CheckRequest> Requests,
                    unsigned NumWorkers, SessionCache *Cache,
                    std::function<void(const CheckResponse &)> OnResult,
-                   EvalStrategy Strategy, VerdictStore *Store)
+                   EvalStrategy Strategy, VerdictStore *Store,
+                   bool Specialize)
     : Requests(Requests), Cache(Cache), OnResult(std::move(OnResult)),
-      Strategy(Strategy), Store(Store), Results(Requests.size()),
-      Done(Requests.size(), 0), Loads(NumWorkers),
-      T0(std::chrono::steady_clock::now()) {
+      Strategy(Strategy), Store(Store), Specialize(Specialize),
+      Results(Requests.size()), Done(Requests.size(), 0),
+      Loads(NumWorkers), T0(std::chrono::steady_clock::now()) {
   // Cache-less planned batches still plan each distinct spec set once.
   if (!Cache && Strategy == EvalStrategy::Planned)
     BatchPlans.emplace();
@@ -308,7 +328,7 @@ bool BatchRun::runOne(size_t I, unsigned Worker,
     Results[I] = evaluateRequest(Requests[I], Arena, Cache, Strategy,
                                  Cache ? Cache : (BatchPlans ? &*BatchPlans
                                                              : nullptr),
-                                 Store);
+                                 Store, Specialize);
     Loads[Worker].BasesVisited += Results[I].Candidates;
   }
   Loads[Worker].BusySeconds += secondsSince(S0);
@@ -343,7 +363,7 @@ std::vector<CheckResponse> BatchRun::take(BatchTelemetry &T) {
 CheckResponse QueryEngine::evaluate(const CheckRequest &R) const {
   std::optional<ExecutionAnalysis> Arena;
   return evaluateRequest(R, Arena, Opts.Cache, Opts.Strategy, Opts.Cache,
-                         Opts.Store);
+                         Opts.Store, Opts.Specialize);
 }
 
 BatchTelemetry QueryEngine::run(
@@ -381,7 +401,7 @@ std::vector<CheckResponse> QueryEngine::runAllInto(
   Jobs = static_cast<unsigned>(std::min<size_t>(Jobs, N));
   WorkQueue<size_t> Q(Jobs);
   BatchRun Batch(Requests, Q, Opts.Cache, OnResult, Opts.Strategy,
-                 Opts.Store);
+                 Opts.Store, Opts.Specialize);
 
   if (Jobs == 1) {
     std::optional<ExecutionAnalysis> Arena;

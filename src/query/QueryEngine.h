@@ -67,6 +67,14 @@ struct BatchOptions {
   /// Candidate evaluation strategy (Planned and Independent produce
   /// byte-identical canonical JSON; only the telemetry differs).
   EvalStrategy Strategy = EvalStrategy::Planned;
+  /// Planned strategy only: specialize each request's plan to the
+  /// program's static vocabulary facts (lint/Lint.h), pre-discharging
+  /// footprint-disjoint obligations once per program instead of
+  /// evaluating them per candidate. Verdict-neutral by the audited
+  /// footprint contract — on and off produce byte-identical canonical
+  /// JSON (pinned by tests and the CI corpus cmp); only `Discharged`
+  /// telemetry differs. Default on.
+  bool Specialize = true;
   /// Optional persistent verdict store (store/VerdictStore.h) — the
   /// second, cross-process caching tier below the in-memory caches: a
   /// request whose exact content key (program source, canonical specs,
@@ -101,14 +109,14 @@ public:
            SessionCache *Cache = nullptr,
            std::function<void(const CheckResponse &)> OnResult = nullptr,
            EvalStrategy Strategy = EvalStrategy::Planned,
-           VerdictStore *Store = nullptr);
+           VerdictStore *Store = nullptr, bool Specialize = true);
   /// Unseeded mode: evaluation state for \p NumWorkers external workers;
   /// the caller schedules every request index exactly once via `runOne`.
   BatchRun(std::span<const CheckRequest> Requests, unsigned NumWorkers,
            SessionCache *Cache = nullptr,
            std::function<void(const CheckResponse &)> OnResult = nullptr,
            EvalStrategy Strategy = EvalStrategy::Planned,
-           VerdictStore *Store = nullptr);
+           VerdictStore *Store = nullptr, bool Specialize = true);
   BatchRun(const BatchRun &) = delete;
   BatchRun &operator=(const BatchRun &) = delete;
 
@@ -141,6 +149,7 @@ private:
   std::function<void(const CheckResponse &)> OnResult;
   EvalStrategy Strategy;
   VerdictStore *Store;
+  bool Specialize;
   /// Plan cache for cache-less planned batches, so a batch still compiles
   /// each distinct spec set once (a resident `Cache` subsumes it).
   std::optional<SessionCache> BatchPlans;

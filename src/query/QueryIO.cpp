@@ -314,6 +314,8 @@ std::string tmw::responsesToJson(std::span<const CheckResponse> Responses,
     appendUint(Out, Telemetry->Plan.SpecEvals);
     Out += ", \"spec_short_circuits\": ";
     appendUint(Out, Telemetry->Plan.SpecShortCircuits);
+    Out += ", \"discharged\": ";
+    appendUint(Out, Telemetry->Plan.Discharged);
     Out += ", \"compiles\": ";
     appendUint(Out, Telemetry->Plan.Compiles);
     Out += ", \"cache_hits\": ";

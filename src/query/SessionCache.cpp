@@ -10,7 +10,7 @@
 using namespace tmw;
 
 std::shared_ptr<const ParseResult> SessionCache::program(
-    std::string_view Source) {
+    std::string_view Source, ProgramFacts *Facts) {
   std::string Key(Source);
   {
     std::lock_guard<std::mutex> Lock(Mu);
@@ -21,6 +21,8 @@ std::shared_ptr<const ParseResult> SessionCache::program(
       // touched half, so a hot working set survives an adversarial churn
       // of one-off sources.
       It->second.Gen = ++NextGen;
+      if (Facts)
+        *Facts = It->second.Facts;
       return It->second.Parse;
     }
     ++S.ProgramMisses;
@@ -28,8 +30,14 @@ std::shared_ptr<const ParseResult> SessionCache::program(
   // Parse outside the lock: batches parse distinct programs concurrently.
   // Two workers racing on the same source both parse; the results are
   // identical (parsing is deterministic), so whichever insert lands is
-  // fine and the loser's copy just serves its own request.
+  // fine and the loser's copy just serves its own request. Facts ride
+  // along: computed once here, handed out with every future hit.
   auto Parsed = std::make_shared<const ParseResult>(parseProgram(Source));
+  ProgramFacts ParsedFacts;
+  if (*Parsed)
+    ParsedFacts = computeFacts(Parsed->Prog);
+  if (Facts)
+    *Facts = ParsedFacts;
   std::lock_guard<std::mutex> Lock(Mu);
   if (Programs.size() >= MaxPrograms) {
     // Evict only the least-recently-touched half (wholesale dropping all
@@ -53,8 +61,8 @@ std::shared_ptr<const ParseResult> SessionCache::program(
     ++S.ProgramEvictions;
     S.ProgramsEvicted += Evict;
   }
-  auto [It, Inserted] =
-      Programs.emplace(std::move(Key), ProgramEntry{Parsed, ++NextGen});
+  auto [It, Inserted] = Programs.emplace(
+      std::move(Key), ProgramEntry{Parsed, ParsedFacts, ++NextGen});
   S.ProgramsCached = Programs.size();
   return Inserted ? Parsed : It->second.Parse;
 }

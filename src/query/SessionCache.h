@@ -34,6 +34,7 @@
 #ifndef TMW_QUERY_SESSIONCACHE_H
 #define TMW_QUERY_SESSIONCACHE_H
 
+#include "lint/Lint.h"
 #include "litmus/Parser.h"
 #include "models/EvalPlan.h"
 #include "models/MemoryModel.h"
@@ -67,8 +68,13 @@ public:
 
   /// Parse-or-fetch \p Source. The result (including a parse failure) is
   /// cached under the full source text; the returned pointer keeps the
-  /// program alive independently of the cache.
-  std::shared_ptr<const ParseResult> program(std::string_view Source);
+  /// program alive independently of the cache. \p Facts, when non-null,
+  /// receives the program's static facts (lint/Lint.h) — computed once at
+  /// parse time and cached beside the parse, so repeated queries against
+  /// a resident program pay for the facts scan exactly once. (Default-
+  /// valued for a failed parse, which has no program to specialize.)
+  std::shared_ptr<const ParseResult> program(std::string_view Source,
+                                             ProgramFacts *Facts = nullptr);
 
   /// Resolve-or-fetch the registry spec \p Spec. Returns nullptr (and
   /// sets \p Error) for an unresolvable spec; failures are not cached.
@@ -94,10 +100,12 @@ public:
   static constexpr size_t kDefaultMaxPrograms = 4096;
 
 private:
-  /// One bounded-map entry: the parse plus its recency stamp (refreshed
-  /// on hit), so overflow evicts the least-recently-touched half.
+  /// One bounded-map entry: the parse, its static facts (computed at
+  /// insert, served with every hit), and its recency stamp (refreshed on
+  /// hit), so overflow evicts the least-recently-touched half.
   struct ProgramEntry {
     std::shared_ptr<const ParseResult> Parse;
+    ProgramFacts Facts;
     uint64_t Gen = 0;
   };
 

@@ -7,11 +7,14 @@
 ///    other passes must not): an axiom whose term reads a mask bit
 ///    outside its declared `Salt`; an honest `Axiom::Salt` hiding a
 ///    `memoTerm` call salted narrower than the closure's real footprint;
-///    and a transaction-reading term memoized as `TxnDependent = false`,
+///    a transaction-reading term memoized as `TxnDependent = false`,
 ///    which serves a stale relation across
-///    `invalidateTransactionalState()`. Honest table entries sitting next
-///    to the broken ones must stay clean — the auditor finds lies, not
-///    neighbours.
+///    `invalidateTransactionalState()`; and a po-reading term declaring a
+///    `Footprint` of `vocab::Txn` only, which the footprint pass must
+///    catch producing edges on txn-free probes (an under-declared
+///    footprint would let `EvalPlan::specialize` discharge a live
+///    constraint). Honest table entries sitting next to the broken ones
+///    must stay clean — the auditor finds lies, not neighbours.
 ///
 ///  * *positive* — the full default registry matrix audits clean (the CI
 ///    gate `tmw_audit` enforces), and the JSON report round-trips through
@@ -90,6 +93,19 @@ constexpr Axiom kStaleTxnTable[] = {
     {"Toggle", AxiomKind::Acyclic, emptyTerm, false, /*Modifier=*/true, 0},
     {"Honest", AxiomKind::Acyclic, honestPo, false, false, 0},
     {"StaleTxn", AxiomKind::Acyclic, staleTxnTerm, false, false, 0},
+};
+
+/// A deliberately *under-declared* footprint: the term reads plain
+/// program order (non-empty on every multi-event execution) but claims it
+/// only speaks `vocab::Txn`. On any txn-free probe the vocabulary is
+/// disjoint from the declared footprint, so the footprint contract
+/// demands an empty relation — and po is not empty. Mask-independent and
+/// memo-free, so the other three passes must stay silent.
+constexpr Axiom kUnderFootprintTable[] = {
+    {"Toggle", AxiomKind::Acyclic, emptyTerm, false, /*Modifier=*/true, 0},
+    {"Honest", AxiomKind::Acyclic, honestPo, false, false, 0},
+    {"FootprintLie", AxiomKind::Acyclic, honestPo, false, false, /*Salt=*/0,
+     /*Footprint=*/vocab::Txn},
 };
 
 class FixtureModel : public MemoryModel {
@@ -175,6 +191,31 @@ TEST(ContractAudit_, StaleTxnCacheIsFlaggedByInvalidationPass) {
   EXPECT_GT(R.Counters.Placements, 0u);
 }
 
+TEST(ContractAudit_, UnderDeclaredFootprintIsFlaggedByFootprintPass) {
+  FixtureModel M("under-footprint-fixture", kUnderFootprintTable);
+  AuditReport R = auditFixture(M, /*Corpus=*/true, /*Vocab=*/true);
+  ASSERT_FALSE(R.sound());
+  ASSERT_FALSE(R.Findings.empty());
+  bool SawFootprint = false;
+  for (const AuditFinding &F : R.Findings) {
+    // Salt 0 is honest (the term is mask-independent) and nothing is
+    // memoized, so only the footprint pass may speak.
+    EXPECT_EQ(F.Pass, AuditPass::Footprint) << auditPassName(F.Pass);
+    EXPECT_EQ(F.Axiom, "FootprintLie");
+    if (F.Pass == AuditPass::Footprint && F.Bit == -1) {
+      SawFootprint = true;
+      EXPECT_NE(F.Detail.find("disjoint"), std::string::npos);
+      EXPECT_FALSE(F.Probe.empty());
+    }
+  }
+  EXPECT_TRUE(SawFootprint);
+  // The honest po term, with its always-safe default footprint, and the
+  // empty toggle term are exactly as non-empty/empty as they claim.
+  EXPECT_FALSE(anyFindingFor(R, "Honest"));
+  EXPECT_FALSE(anyFindingFor(R, "Toggle"));
+  EXPECT_GT(R.Counters.FootprintChecks, 0u);
+}
+
 TEST(ContractAudit_, HonestFixtureAuditsClean) {
   // The control table alone (toggle + honest po) must produce zero
   // findings through every pass and probe source.
@@ -219,6 +260,9 @@ TEST(ContractAudit_, DefaultRegistryMatrixIsSound) {
   EXPECT_GT(R.Counters.CorpusProbes, 0u);
   EXPECT_GT(R.Counters.VocabProbes, 0u);
   EXPECT_GT(R.Counters.Placements, 0u);
+  // The footprint pass ran — narrow declared footprints met disjoint
+  // probes and every one of them held (zero findings above).
+  EXPECT_GT(R.Counters.FootprintChecks, 0u);
 }
 
 TEST(ContractAudit_, UnknownSpecReportsErrorNotCrash) {

@@ -1,0 +1,209 @@
+//===- parser_error_test.cpp - Litmus DSL parser error paths ------------------==//
+///
+/// Every distinct diagnostic of `parseProgram` (litmus/Parser.cpp), each
+/// pinned with its exact message and 1-based error line — so a reworded
+/// or re-homed diagnostic is a deliberate test edit, not drift — plus a
+/// fuzz-ish sweep of truncated and garbled programs that must fail
+/// cleanly (no crash, a nonzero `ErrorLine`, a non-empty message) or
+/// parse to a program the lint pass can still walk.
+///
+//===----------------------------------------------------------------------===//
+
+#include "lint/Lint.h"
+#include "litmus/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+using namespace tmw;
+
+namespace {
+
+/// Assert \p Src fails to parse with exactly \p Message at \p Line.
+void expectError(const char *Src, const char *Message, unsigned Line) {
+  ParseResult R = parseProgram(Src);
+  ASSERT_FALSE(static_cast<bool>(R)) << "expected failure: " << Src;
+  EXPECT_EQ(R.Error, Message) << Src;
+  EXPECT_EQ(R.ErrorLine, Line) << Src;
+}
+
+// ---------------------------------------------------------------------------
+// One pin per diagnostic, in Parser.cpp order.
+// ---------------------------------------------------------------------------
+
+TEST(ParserError_, NameRequiresAnArgument) {
+  expectError("loc x 0\nname\n", "name requires an argument", 2);
+}
+
+TEST(ParserError_, LocRequiresNameAndInitial) {
+  expectError("loc x\n", "loc requires a name and an initial value", 1);
+}
+
+TEST(ParserError_, BadInitialValue) {
+  expectError("loc x zero\n", "bad initial value", 1);
+}
+
+TEST(ParserError_, BadThreadIndex) {
+  expectError("thread\n", "bad thread index", 1);
+  expectError("thread one\n", "bad thread index", 1);
+  expectError("thread -1\n", "bad thread index", 1);
+}
+
+TEST(ParserError_, IncompletePostcondition) {
+  expectError("loc x 0\nthread 0\n  load x\npost\n",
+              "incomplete postcondition", 4);
+}
+
+TEST(ParserError_, PostRegRequiresThreadRegisterValue) {
+  expectError("post reg\n", "post reg requires: thread, register, value", 1);
+  expectError("post reg zero r0 1\n",
+              "post reg requires: thread, register, value", 1);
+}
+
+TEST(ParserError_, BadPostRegOperands) {
+  expectError("post reg 0 rX 1\n", "bad post reg operands", 1);
+  expectError("post reg 0 r0 one\n", "bad post reg operands", 1);
+}
+
+TEST(ParserError_, PostMemRequiresLocationValue) {
+  expectError("post mem x\n", "post mem requires: location, value", 1);
+  expectError("post mem x one\n", "post mem requires: location, value", 1);
+}
+
+TEST(ParserError_, UnknownPostconditionKind) {
+  expectError("post cpu 0 r0 1\n", "unknown postcondition kind: cpu", 1);
+}
+
+TEST(ParserError_, InstructionOutsideAnyThread) {
+  expectError("loc x 0\nload x\n", "instruction outside any thread", 2);
+}
+
+TEST(ParserError_, LoadRequiresLocation) {
+  expectError("thread 0\n  load\n", "load requires a location", 2);
+}
+
+TEST(ParserError_, StoreRequiresLocationAndValue) {
+  expectError("thread 0\n  store x\n",
+              "store requires a location and a value", 2);
+  expectError("thread 0\n  store x one\n",
+              "store requires a location and a value", 2);
+}
+
+TEST(ParserError_, FenceRequiresFlavour) {
+  expectError("thread 0\n  fence\n", "fence requires a flavour", 2);
+}
+
+TEST(ParserError_, UnknownFenceFlavour) {
+  expectError("thread 0\n  fence warp\n", "unknown fence flavour: warp", 2);
+}
+
+TEST(ParserError_, UnknownInstruction) {
+  expectError("thread 0\n  cmpxchg x 1\n", "unknown instruction: cmpxchg", 2);
+}
+
+TEST(ParserError_, BadDependencyReference) {
+  expectError("thread 0\n  load x addr:rQ\n",
+              "bad dependency reference: addr:rQ", 2);
+  expectError("thread 0\n  load x rmw:-2\n",
+              "bad dependency reference: rmw:-2", 2);
+}
+
+TEST(ParserError_, UnknownAttribute) {
+  expectError("thread 0\n  load x flub:r0\n", "unknown attribute: flub:r0", 2);
+}
+
+// ---------------------------------------------------------------------------
+// Behavioural corners of the error machinery itself.
+// ---------------------------------------------------------------------------
+
+TEST(ParserError_, DiagnosticFormatsFileAndLine) {
+  ParseResult R = parseProgram("loc x\n");
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.diagnostic("sb.litmus"),
+            "sb.litmus:1: loc requires a name and an initial value");
+  EXPECT_EQ(R.diagnostic(""),
+            "line 1: loc requires a name and an initial value");
+  EXPECT_EQ(parseProgram("thread 0\n  load x\n").diagnostic("f"), "");
+}
+
+TEST(ParserError_, CommentsAndBlankLinesDoNotShiftErrorLines) {
+  expectError("# header comment\n"
+              "\n"
+              "loc x 0\n"
+              "thread 0\n"
+              "  load x  # trailing comment\n"
+              "  fence warp\n",
+              "unknown fence flavour: warp", 6);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzz-ish sweep: truncations and mutations of a real program. Nothing
+// here may crash; failures must carry a line and a message.
+// ---------------------------------------------------------------------------
+
+const char *kSeed = "name MP+txn\n"
+                    "loc x 0\n"
+                    "loc y 0\n"
+                    "thread 0\n"
+                    "  txbegin atomic\n"
+                    "  store x 1 rel\n"
+                    "  store y 1\n"
+                    "  txend\n"
+                    "thread 1\n"
+                    "  load y acq\n"
+                    "  load x addr:r0 ctrl:0\n"
+                    "post reg 1 r0 1\n"
+                    "post reg 1 r1 1\n"
+                    "post mem x 1\n";
+
+TEST(ParserError_, EveryPrefixParsesOrFailsCleanly) {
+  std::string Seed(kSeed);
+  for (size_t Cut = 0; Cut <= Seed.size(); ++Cut) {
+    ParseResult R = parseProgram(Seed.substr(0, Cut));
+    if (!R) {
+      EXPECT_GT(R.ErrorLine, 0u) << "cut at " << Cut;
+      EXPECT_FALSE(R.Error.empty()) << "cut at " << Cut;
+    } else {
+      // Whatever parsed must be walkable by the analyzer without
+      // asserting — truncation can legally strand a txbegin, which is
+      // exactly what the lint rules exist to report.
+      lintProgram(R.Prog);
+      computeFacts(R.Prog);
+    }
+  }
+}
+
+TEST(ParserError_, SingleByteMutationsNeverCrash) {
+  std::string Seed(kSeed);
+  const char Garble[] = {'\0', '\t', '#', '{', '9', 'z', '-', ':'};
+  for (size_t Pos = 0; Pos < Seed.size(); Pos += 3) {
+    for (char C : Garble) {
+      std::string Mutant = Seed;
+      Mutant[Pos] = C;
+      ParseResult R = parseProgram(Mutant);
+      if (!R) {
+        EXPECT_GT(R.ErrorLine, 0u) << "mutation at " << Pos;
+        EXPECT_FALSE(R.Error.empty()) << "mutation at " << Pos;
+      } else {
+        lintProgram(R.Prog);
+        computeFacts(R.Prog);
+      }
+    }
+  }
+}
+
+TEST(ParserError_, GarbledLinesFailWithThatLinePinned) {
+  // The reported line must be the offending one even deep in a file.
+  std::string Long;
+  for (int I = 0; I < 40; ++I)
+    Long += "loc v" + std::to_string(I) + " 0\n";
+  Long += "thread 0\n  load v0\n  store v1 not-a-number\n";
+  ParseResult R = parseProgram(Long);
+  ASSERT_FALSE(static_cast<bool>(R));
+  EXPECT_EQ(R.ErrorLine, 43u);
+  EXPECT_EQ(R.Error, "store requires a location and a value");
+}
+
+} // namespace

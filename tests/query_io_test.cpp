@@ -220,6 +220,32 @@ TEST(Json, ParserErrors) {
   EXPECT_EQ(A->Arr[4].Str, "sA");
 }
 
+TEST(Json, DuplicateObjectKeysAreRejected) {
+  // Documented policy (Json.h): a duplicate key is a parse error, never
+  // first-wins or last-wins. Our writers emit fixed-order schemata and
+  // cannot produce one, so a duplicate always means a malformed or
+  // adversarial document.
+  std::string Error;
+  EXPECT_FALSE(parseJson("{\"a\": 1, \"a\": 2}", &Error).has_value());
+  EXPECT_NE(Error.find("duplicate object key \"a\""), std::string::npos)
+      << Error;
+
+  // Nested objects are checked independently: a key may repeat across
+  // levels, just not within one object.
+  EXPECT_TRUE(parseJson("{\"a\": {\"a\": 1}}").has_value());
+  EXPECT_FALSE(
+      parseJson("{\"outer\": {\"x\": 1, \"y\": 2, \"x\": 3}}", &Error)
+          .has_value());
+  EXPECT_NE(Error.find("duplicate object key \"x\""), std::string::npos);
+
+  // Array elements can repeat; distinct sibling keys still parse.
+  EXPECT_TRUE(parseJson("[{\"k\": 1}, {\"k\": 2}]").has_value());
+  EXPECT_TRUE(parseJson("{\"a\": 1, \"b\": 1}").has_value());
+
+  // Keys distinct only after escape decoding are still duplicates.
+  EXPECT_FALSE(parseJson("{\"a\": 1, \"\\u0061\": 2}", &Error).has_value());
+}
+
 TEST(Json, IntegerFidelity) {
   // The integer-preserving token path: u64-range integers survive a
   // parse exactly instead of being rounded through a double.
